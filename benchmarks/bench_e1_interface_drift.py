@@ -1,0 +1,76 @@
+"""E1 — "Invariably, the two components do not mesh properly" (section 1)
+vs "the two halves are known to fit together" (section 4).
+
+Regenerates the interface-drift table: mean integration defects of the
+parallel-teams workflow under specification churn, against the generated
+workflow under the identical churn stream.  Shape to reproduce: manual
+defects grow with churn and miss probability; generated defects are
+exactly zero everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import run_generated_flow, run_parallel_teams
+from repro.marks import marks_for_partition
+from repro.mda import ModelCompiler
+from repro.models import build_packetproc_model
+
+from conftest import print_table
+
+CHURN_LEVELS = (5, 20, 50)
+MISS_PROBABILITIES = (0.05, 0.15, 0.30)
+SEEDS = tuple(range(10))
+
+
+def _interface_spec():
+    model = build_packetproc_model()
+    component = model.components[0]
+    build = ModelCompiler(model).compile(
+        marks_for_partition(component, ("CE", "D")))
+    return build.interface
+
+
+def run_experiment(spec):
+    table = {}
+    for churn in CHURN_LEVELS:
+        for miss in MISS_PROBABILITIES:
+            outcomes = [
+                run_parallel_teams(spec, churn, miss, seed=seed)
+                for seed in SEEDS
+            ]
+            table[(churn, miss, "manual")] = (
+                sum(o.defect_count for o in outcomes) / len(outcomes))
+        table[(churn, None, "generated")] = run_generated_flow(
+            spec, churn, seed=0).defect_count
+    return table
+
+
+def test_e1_interface_drift(benchmark):
+    spec = _interface_spec()
+    table = benchmark.pedantic(run_experiment, args=(spec,),
+                               rounds=2, iterations=1)
+
+    rows = []
+    for churn in CHURN_LEVELS:
+        cells = " ".join(
+            f"{table[(churn, miss, 'manual')]:10.1f}"
+            for miss in MISS_PROBABILITIES)
+        rows.append(f"{churn:6d} {cells} "
+                    f"{table[(churn, None, 'generated')]:10d}")
+    print_table(
+        "E1: integration defects under spec churn",
+        f"{'churn':>6s} " + " ".join(
+            f"miss={p:<5.2f}" for p in MISS_PROBABILITIES) + "  generated",
+        rows,
+    )
+    benchmark.extra_info["defects_churn50_miss30"] = table[(50, 0.30, "manual")]
+
+    # shape: generated is exactly zero, always
+    for churn in CHURN_LEVELS:
+        assert table[(churn, None, "generated")] == 0
+    # shape: manual drifts, and grows with churn at every miss level
+    assert table[(50, 0.30, "manual")] > 0
+    for miss in MISS_PROBABILITIES:
+        assert table[(50, miss, "manual")] >= table[(5, miss, "manual")]
+    # shape: more missed updates, more defects (at the heaviest churn)
+    assert (table[(50, 0.30, "manual")] > table[(50, 0.05, "manual")])

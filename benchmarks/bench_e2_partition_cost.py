@@ -1,0 +1,61 @@
+"""E2 — "Changing the partition is a matter of changing the placement of
+the marks" (section 4).
+
+Regenerates the repartition-cost table: for every single-class move of
+the packet-processor SoC (and a selection of multi-class moves), the
+hand-edited line count of the implementation-first workflow against the
+mark flips of the model-driven workflow.  Shape to reproduce: the
+model-driven cost is the number of classes moved (1 flip per class); the
+implementation-first cost is two orders of magnitude larger.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import price_all_single_moves, price_repartition
+from repro.models import build_packetproc_model
+
+from conftest import print_table
+
+MULTI_MOVES = [
+    ((), ("CE", "D")),
+    ((), ("CE", "CL", "D")),
+    (("CE",), ("D",)),
+    (("CE", "D"), ()),
+]
+
+
+def run_experiment(model):
+    singles = price_all_single_moves(model)
+    multis = [price_repartition(model, a, b) for a, b in MULTI_MOVES]
+    return singles, multis
+
+
+def test_e2_partition_cost(benchmark):
+    model = build_packetproc_model()
+    singles, multis = benchmark.pedantic(
+        run_experiment, args=(model,), rounds=2, iterations=1)
+
+    rows = []
+    for cost in singles + multis:
+        move = (f"{'+'.join(cost.from_hardware) or 'sw-only':12s} -> "
+                f"{'+'.join(cost.to_hardware) or 'sw-only':12s}")
+        rows.append(
+            f"{move:32s} {cost.impl_first_total:8d} {cost.mark_flips:6d} "
+            f"{cost.reduction_factor:8.1f}x")
+    print_table(
+        "E2: repartition cost — hand-edited lines vs mark flips",
+        f"{'partition change':32s} {'impl-1st':>8s} {'flips':>6s} "
+        f"{'factor':>9s}",
+        rows,
+    )
+    benchmark.extra_info["max_factor"] = max(
+        c.reduction_factor for c in singles + multis)
+
+    for cost in singles:
+        # one class moved = exactly one flipped sticky note
+        assert cost.mark_flips == len(cost.moved_classes) == 1
+        # and a real rewrite on the other side of the ledger
+        assert cost.impl_first_total > 50 * cost.mark_flips
+    for cost in multis:
+        assert cost.mark_flips == len(cost.moved_classes)
+        assert cost.impl_first_total > 50 * cost.mark_flips

@@ -1,0 +1,137 @@
+"""E4 — "Once the prototype runs, it is possible to measure the
+performance, which may require changing the partition" (section 1).
+
+Regenerates the partition-sweep table: packet latency / throughput / CPU
+utilization of candidate hardware partitions of the packet-processor
+SoC, across offered loads.  Shape to reproduce:
+
+* at low load every partition meets demand and differences are small;
+* with rising load the all-software prototype saturates (CPU -> 1.0,
+  latency inflates by orders of magnitude) while the crypto+DMA
+  hardware partitions hold latency flat — the measurement that *drives*
+  the repartition decision;
+* the winning partition at high load offloads the compute-heavy classes.
+"""
+
+from __future__ import annotations
+
+from repro.cosim import (
+    CoSimConfig,
+    best_partition,
+    measure_partition,
+    poisson_packets,
+    sweep_partitions,
+)
+from repro.models import build_packetproc_model
+
+from conftest import print_table
+
+CANDIDATES = [(), ("CE",), ("CE", "D"), ("CE", "CL", "D")]
+LOADS = (40, 300)
+PACKETS = 250
+
+
+def run_experiment(model):
+    results = {}
+    for rate in LOADS:
+        packets = poisson_packets(PACKETS, rate_per_ms=rate, seed=7)
+        results[rate] = sweep_partitions(model, CANDIDATES, packets)
+    return results
+
+
+def test_e4_partition_sweep(benchmark):
+    model = build_packetproc_model()
+    results = benchmark.pedantic(run_experiment, args=(model,),
+                                 rounds=1, iterations=1)
+
+    for rate, rows in results.items():
+        print_table(
+            f"E4: partition sweep at {rate} packets/ms",
+            f"{'partition':18s} {'mean lat':>10s} {'p99 lat':>10s} "
+            f"{'thr/s':>9s} {'cpu':>5s} {'bus':>6s}",
+            [
+                f"{m.label:18s} {m.mean_latency_ns/1000:8.1f}us "
+                f"{m.p99_latency_ns/1000:8.1f}us "
+                f"{m.throughput_per_s:9.0f} {m.cpu_utilization:5.2f} "
+                f"{m.bus_utilization:6.3f}"
+                for m in rows
+            ],
+        )
+
+    low = {m.label: m for m in results[LOADS[0]]}
+    high = {m.label: m for m in results[LOADS[1]]}
+    all_sw_low = low["(all software)"]
+    all_sw_high = high["(all software)"]
+    hw_high = high["CE+D"]
+    benchmark.extra_info["sw_saturation_cpu"] = all_sw_high.cpu_utilization
+    benchmark.extra_info["hw_speedup_at_high_load"] = (
+        all_sw_high.mean_latency_ns / hw_high.mean_latency_ns)
+
+    # every partition completes the offered load
+    for rows in results.values():
+        for m in rows:
+            assert m.completed == m.offered_packets
+
+    # shape: software saturates at high load...
+    assert all_sw_high.cpu_utilization > 0.95
+    # ...and its latency inflates by well over an order of magnitude
+    assert all_sw_high.mean_latency_ns > 10 * all_sw_low.mean_latency_ns
+    # shape: hardware offload keeps latency flat-ish across loads
+    assert hw_high.mean_latency_ns < 10 * low["CE+D"].mean_latency_ns
+    # shape: at high load, offloading wins by a large factor
+    assert all_sw_high.mean_latency_ns > 5 * hw_high.mean_latency_ns
+    # shape: the sweep's winner at high load puts crypto in hardware
+    winner = best_partition(results[LOADS[1]])
+    assert "CE" in winner.hardware_classes
+    # shape: at low load the gap is modest (the crossover territory)
+    gap_low = (all_sw_low.mean_latency_ns
+               / low["CE+CL+D"].mean_latency_ns)
+    gap_high = (all_sw_high.mean_latency_ns
+                / high["CE+CL+D"].mean_latency_ns)
+    assert gap_high > gap_low
+
+
+def test_e4b_bus_arbitration_ablation(benchmark):
+    """DESIGN.md ablation: bus arbitration policy under heavy crossings.
+
+    All three policies must deliver every packet (arbitration is a
+    fairness/latency knob, not a correctness knob), and the policies
+    must be observably different — the fixed-priority bus favours
+    low-id messages, shifting the latency distribution relative to FIFO.
+    """
+    model = build_packetproc_model()
+    packets = poisson_packets(PACKETS, rate_per_ms=250, seed=11)
+
+    def run_policies():
+        rows = {}
+        for policy in ("fifo", "priority", "round_robin"):
+            config = CoSimConfig(bus_policy=policy,
+                                 bus_arbitration_ns=2_000,
+                                 bus_ns_per_byte=120.0)  # a saturated bus
+            rows[policy] = measure_partition(
+                model, ("CE", "D"), packets, config=config)
+        return rows
+
+    rows = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+
+    print_table(
+        "E4b: bus arbitration ablation (CE+D partition, congested bus)",
+        f"{'policy':12s} {'mean lat':>10s} {'p99 lat':>10s} "
+        f"{'bus util':>9s} {'msgs':>6s}",
+        [
+            f"{policy:12s} {m.mean_latency_ns/1000:8.1f}us "
+            f"{m.p99_latency_ns/1000:8.1f}us "
+            f"{m.bus_utilization:9.3f} {m.bus_messages:6d}"
+            for policy, m in rows.items()
+        ],
+    )
+
+    for policy, measurement in rows.items():
+        assert measurement.completed == measurement.offered_packets, policy
+        assert measurement.bus_messages == rows["fifo"].bus_messages
+    latencies = {policy: m.mean_latency_ns for policy, m in rows.items()}
+    # the knob does something: the policies differ measurably
+    assert max(latencies.values()) > 1.1 * min(latencies.values())
+    # fixed priority starves the late-pipeline (high-id) messages that
+    # gate packet completion, so fair arbitration wins on mean latency
+    assert latencies["round_robin"] < latencies["priority"]

@@ -1,0 +1,57 @@
+"""E5 — "Executable UML is a small, but powerful, subset of UML ...
+we need more UML like a hole in the head" (sections 2/5).
+
+Regenerates the UML-surface table: the UML 1.5 metaclass inventory per
+specification package, the slice the Executable UML profile defines
+semantics for, and the slice the five SoC example models actually
+instantiate.  Shape to reproduce: the profile needs well under a third
+of UML 1.5 (and about a tenth of UML 2.0's 260 metaclasses), yet it
+expressed every model in this repository.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    UML20_METACLASS_COUNT,
+    surface_summary,
+    surface_table,
+)
+
+from conftest import print_table
+
+
+def test_e5_uml_surface(benchmark, catalog):
+    rows_data = benchmark.pedantic(
+        surface_table, args=(catalog,), rounds=3, iterations=1)
+    summary = surface_summary(catalog)
+
+    rows = [
+        f"{row.package:44s} {row.total:5d} {row.in_profile:7d} "
+        f"{row.used_by_models:4d}"
+        for row in rows_data
+    ]
+    rows.append(f"{'TOTAL':44s} {summary['uml15_metaclasses']:5.0f} "
+                f"{summary['profile_metaclasses']:7.0f} "
+                f"{summary['used_metaclasses']:4.0f}")
+    print_table(
+        "E5: UML metaclass surface",
+        f"{'UML 1.5 package':44s} {'total':>5s} {'profile':>7s} "
+        f"{'used':>4s}",
+        rows,
+    )
+    print(f"profile share of UML 1.5: "
+          f"{summary['profile_share_of_uml15']:.1%}")
+    print(f"profile share of UML 2.0 ({UML20_METACLASS_COUNT} metaclasses): "
+          f"{summary['profile_share_of_uml20']:.1%}")
+    benchmark.extra_info.update(
+        {k: round(v, 4) for k, v in summary.items()})
+
+    # shape: the profile is a small subset...
+    assert summary["profile_share_of_uml15"] < 1 / 3
+    assert summary["profile_share_of_uml20"] < 1 / 6
+    # ...and the example SoC systems exercise most of what it keeps
+    assert summary["used_share_of_profile"] > 0.5
+    # the whole-use-case packages contribute nothing to the profile
+    by_package = {row.package: row for row in rows_data}
+    assert by_package["BehavioralElements.UseCases"].in_profile == 0
+    assert by_package["BehavioralElements.Collaborations"].in_profile == 0

@@ -1,0 +1,88 @@
+"""E7 — "The two halves are known to fit together because the interface
+was generated" (section 4).
+
+Regenerates the interface-fit matrix: for every catalog model and every
+single-class hardware partition, emit both interface halves, parse each
+half's layout table back *from the generated text*, and round-trip real
+message bytes C-side -> VHDL-side and back.  Shape to reproduce: byte
+equality for every message of every partition of every model — the
+consistency-by-construction property, checked at the byte level.
+
+Also times the full emit-parse-roundtrip pipeline (the cost of
+regenerating an interface after a partition change: machine time, not
+human time).
+"""
+
+from __future__ import annotations
+
+from repro.marks import all_partitions, marks_for_partition
+from repro.mda import InterfaceCodec, ModelCompiler
+
+from conftest import print_table
+
+
+def roundtrip_all(model):
+    """(messages checked, byte mismatches, layout digests compared)."""
+    component = model.components[0]
+    compiler = ModelCompiler(model)
+    checked = mismatches = partitions = 0
+    for hardware in all_partitions(component):
+        if len(hardware) != 1 and hardware != tuple(sorted(
+                component.class_keys))[:2]:
+            continue   # single-class moves plus one two-class sample
+        partitions += 1
+        build = compiler.compile(marks_for_partition(component, hardware))
+        c_header = build.interface.emit_c_header()
+        vhdl_pkg = build.interface.emit_vhdl_package()
+        c_codec = InterfaceCodec.from_artifact(c_header)
+        v_codec = InterfaceCodec.from_artifact(vhdl_pkg)
+        assert c_codec.message_names() == v_codec.message_names()
+        for name in c_codec.message_names():
+            checked += 1
+            _mid, _bytes, fields = c_codec.layouts[name]
+            values = {}
+            for index, (fname, tag, _off, width) in enumerate(fields):
+                if tag == "real":
+                    values[fname] = 2.5 * index
+                elif tag == "boolean":
+                    values[fname] = index % 2 == 0
+                elif tag == "string":
+                    values[fname] = f"v{index}"
+                elif tag == "integer":
+                    values[fname] = -(7 ** index) % (1 << (width - 1))
+                else:
+                    values[fname] = (13 * index + 1) % (1 << min(width, 31))
+            packed_c = c_codec.pack(name, values)
+            packed_v = v_codec.pack(name, values)
+            if packed_c != packed_v:
+                mismatches += 1
+                continue
+            if v_codec.unpack(name, packed_c) != c_codec.unpack(
+                    name, packed_v):
+                mismatches += 1
+    return checked, mismatches, partitions
+
+
+def test_e7_interface_fit(benchmark, catalog):
+    def run_all():
+        return {name: roundtrip_all(model)
+                for name, model in catalog.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        f"{name:14s} {partitions:10d} {checked:8d} {mismatches:10d}"
+        for name, (checked, mismatches, partitions) in results.items()
+    ]
+    print_table(
+        "E7: generated halves fit (byte-level round trips)",
+        f"{'model':14s} {'partitions':>10s} {'messages':>8s} "
+        f"{'mismatch':>10s}",
+        rows,
+    )
+    total_checked = sum(c for c, _m, _p in results.values())
+    benchmark.extra_info["messages_checked"] = total_checked
+
+    assert total_checked > 0
+    for name, (checked, mismatches, _partitions) in results.items():
+        assert mismatches == 0, f"{name}: {mismatches} byte mismatches"

@@ -1,0 +1,29 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``bench_e*.py`` regenerates one experiment of DESIGN.md's index and
+prints its paper-style table (visible with ``pytest -s`` or in
+``--benchmark-only`` summaries via ``extra_info``).  Assertions encode
+the *shape* each experiment must reproduce — who wins, by roughly what
+factor — so a regression in any subsystem fails the bench, not just the
+timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import all_models
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """All example models, built once per session."""
+    return all_models()
+
+
+def print_table(title: str, header: str, rows: list[str]) -> None:
+    print()
+    print(f"=== {title} ===")
+    print(header)
+    for row in rows:
+        print(row)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Retargeting: a third implementation technology, added with one rule.
+
+Paper section 3: marks "allow for retargeting models to different
+implementation technologies as they change."  The stock rule set maps
+classes to C or (with ``isHardware``) VHDL.  This example adds SystemC —
+the very language the paper calls too low-level to *model* in — as one
+more *target*: a new mapping rule selected by ``processor = systemc``.
+
+The model does not change.  The metamodel does not change.  One rule is
+prepended; one sticky note moves a class onto the new technology.
+
+Run:  python examples/retargeting.py
+"""
+
+from repro.marks import marks_for_partition
+from repro.mda import ModelCompiler, RuleSet, SYSTEMC_RULE
+from repro.models import build_packetproc_model
+
+
+def describe(build) -> None:
+    by_target = {}
+    for class_key, rule_name in sorted(build.rules_applied.items()):
+        by_target.setdefault(rule_name, []).append(class_key)
+    for rule_name, classes in sorted(by_target.items()):
+        print(f"  {rule_name:16s} -> {', '.join(classes)}")
+    print(f"  artifacts: {len(build.artifacts)} files, "
+          f"{build.total_lines()} lines, "
+          f"{len(build.lint())} lint findings")
+
+
+def main() -> None:
+    model = build_packetproc_model()
+    component = model.components[0]
+    rules = RuleSet.standard().prepend(SYSTEMC_RULE)
+    compiler = ModelCompiler(model, rules=rules)
+
+    print("1. the familiar two-technology build (CE in hardware):")
+    marks = marks_for_partition(component, ("CE",))
+    describe(compiler.compile(marks))
+    print()
+
+    print("2. move the DMA onto SystemC — one new sticky note:")
+    marks.set("soc.D", "processor", "systemc")
+    build = compiler.compile(marks)
+    describe(build)
+    print()
+
+    print("3. the generated SC_MODULE (first 24 lines):")
+    module = build.artifacts["dma_engine_sc.h"]
+    for line in module.splitlines()[6:30]:
+        print("   " + line)
+    print("   ...")
+    print()
+    print("same model, three implementation technologies, zero model edits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — an Executable/Translatable UML toolchain for Systems-on-Chip.
+
+A from-scratch reproduction of the system described in Mellor, Wolfe &
+McCausland, "Why Systems-on-Chip Needs More UML like a Hole in the Head"
+(DATE 2005): a streamlined executable subset of UML (``repro.xuml`` +
+``repro.oal`` + ``repro.runtime``), marks held outside the model
+(``repro.marks``), and model mappings that translate one specification
+into consistent C and VHDL halves (``repro.mda``), measured on a
+co-simulated SoC platform (``repro.cosim``) and verified model-first
+(``repro.verify``).  ``repro.baselines`` implements the workflows the
+paper argues against, so its claims can be quantified.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "xuml",
+    "oal",
+    "runtime",
+    "marks",
+    "mda",
+    "cosim",
+    "verify",
+    "baselines",
+    "models",
+]

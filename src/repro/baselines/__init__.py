@@ -1,0 +1,57 @@
+"""Baselines — the workflows the paper argues against, quantified.
+
+* :mod:`~repro.baselines.drift` — parallel teams hand-maintaining the
+  same interface tables under churn (E1)
+* :mod:`~repro.baselines.editcost` — implementation-first repartitioning
+  priced against mark flips (E2)
+* :mod:`~repro.baselines.umlsurface` — UML 1.5/2.0 metaclass inventory
+  against the executable subset (E5)
+"""
+
+from .drift import (
+    ChurnEvent,
+    DriftOutcome,
+    InterfaceDefect,
+    compare_layouts,
+    generate_churn,
+    initial_layout,
+    run_generated_flow,
+    run_parallel_teams,
+)
+from .editcost import (
+    RepartitionCost,
+    price_all_single_moves,
+    price_repartition,
+)
+from .umlsurface import (
+    UML15_METACLASSES,
+    UML20_METACLASS_COUNT,
+    XTUML_SUBSET,
+    SurfaceRow,
+    metaclasses_used_by,
+    surface_summary,
+    surface_table,
+    uml15_total,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "DriftOutcome",
+    "InterfaceDefect",
+    "RepartitionCost",
+    "SurfaceRow",
+    "UML15_METACLASSES",
+    "UML20_METACLASS_COUNT",
+    "XTUML_SUBSET",
+    "compare_layouts",
+    "generate_churn",
+    "initial_layout",
+    "metaclasses_used_by",
+    "price_all_single_moves",
+    "price_repartition",
+    "run_generated_flow",
+    "run_parallel_teams",
+    "surface_summary",
+    "surface_table",
+    "uml15_total",
+]

@@ -1,0 +1,232 @@
+"""The parallel-teams baseline — hand-maintained interfaces that drift.
+
+Paper section 1: "it is common for the hardware and software teams to
+work a specification in parallel.  Invariably, the two components do not
+mesh properly."
+
+This module makes that claim measurable.  Two teams each hold a *copy*
+of the interface tables (the C-side team and the VHDL-side team).  The
+specification then *churns*: parameters are added, removed, widened,
+messages renumbered.  Each churn lands in each team's copy only with
+some probability (meetings are missed, emails lag, one side ships
+first) — that is the entire model of "working in parallel".  At
+integration time the two copies are compared field-by-field; every
+disagreement is an interface defect of exactly the kind generated
+interfaces rule out.
+
+The generated workflow runs the *same churn stream* against the single
+model-level spec and regenerates both halves after every change; its
+defect count is structurally zero, which experiment E1 verifies rather
+than assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: team-local layout: message -> (id, [(field, width_bits)])
+Layout = dict[str, tuple[int, list[tuple[str, int]]]]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One specification change."""
+
+    kind: str          # add_field | remove_field | resize_field | renumber
+    message: str
+    fieldname: str | None = None
+    width: int | None = None
+    new_id: int | None = None
+
+    def __str__(self) -> str:
+        if self.kind == "add_field":
+            return f"add {self.message}.{self.fieldname}:{self.width}b"
+        if self.kind == "remove_field":
+            return f"remove {self.message}.{self.fieldname}"
+        if self.kind == "resize_field":
+            return f"resize {self.message}.{self.fieldname} to {self.width}b"
+        return f"renumber {self.message} to id {self.new_id}"
+
+
+@dataclass(frozen=True)
+class InterfaceDefect:
+    """One disagreement between the two teams' tables."""
+
+    message: str
+    kind: str          # missing_message | id_mismatch | missing_field |
+    #                    width_mismatch | offset_mismatch
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.message}: {self.kind} ({self.detail})"
+
+
+def initial_layout(spec) -> Layout:
+    """Seed a team's table from a generated :class:`InterfaceSpec`."""
+    layout: Layout = {}
+    for message in spec.messages:
+        layout[message.name] = (
+            message.message_id,
+            [(f.name, f.width_bits) for f in message.fields],
+        )
+    return layout
+
+
+def copy_layout(layout: Layout) -> Layout:
+    return {name: (mid, list(fields)) for name, (mid, fields) in layout.items()}
+
+
+def generate_churn(
+    layout: Layout, count: int, seed: int = 0
+) -> list[ChurnEvent]:
+    """A reproducible stream of *count* spec changes against *layout*."""
+    rng = random.Random(seed)
+    working = copy_layout(layout)
+    events: list[ChurnEvent] = []
+    fresh = 0
+    while len(events) < count:
+        message = rng.choice(sorted(working))
+        mid, fields = working[message]
+        kind = rng.choice(
+            ["add_field", "add_field", "resize_field", "remove_field",
+             "renumber"])
+        if kind == "add_field":
+            fresh += 1
+            name = f"ext_{fresh}"
+            width = rng.choice([8, 16, 32, 64])
+            fields.append((name, width))
+            events.append(ChurnEvent("add_field", message, name, width))
+        elif kind == "resize_field" and fields:
+            index = rng.randrange(len(fields))
+            name, old_width = fields[index]
+            width = rng.choice([w for w in (8, 16, 32, 64) if w != old_width])
+            fields[index] = (name, width)
+            events.append(ChurnEvent("resize_field", message, name, width))
+        elif kind == "remove_field" and len(fields) > 1:
+            index = rng.randrange(1, len(fields))   # keep target_instance
+            name, _width = fields.pop(index)
+            events.append(ChurnEvent("remove_field", message, name))
+        elif kind == "renumber":
+            new_id = rng.randint(1, 64)
+            working[message] = (new_id, fields)
+            events.append(ChurnEvent("renumber", message, new_id=new_id))
+    return events
+
+
+def apply_churn(layout: Layout, event: ChurnEvent) -> None:
+    """Apply one churn event to a team's copy (idempotent-ish)."""
+    if event.message not in layout:
+        return
+    mid, fields = layout[event.message]
+    if event.kind == "add_field":
+        if all(name != event.fieldname for name, _w in fields):
+            fields.append((event.fieldname, event.width))
+    elif event.kind == "remove_field":
+        layout[event.message] = (
+            mid, [(n, w) for n, w in fields if n != event.fieldname])
+    elif event.kind == "resize_field":
+        layout[event.message] = (
+            mid,
+            [(n, event.width if n == event.fieldname else w)
+             for n, w in fields],
+        )
+    elif event.kind == "renumber":
+        layout[event.message] = (event.new_id, fields)
+
+
+def compare_layouts(ours: Layout, theirs: Layout) -> list[InterfaceDefect]:
+    """Field-by-field integration check between two teams' tables."""
+    defects: list[InterfaceDefect] = []
+    for message in sorted(set(ours) | set(theirs)):
+        if message not in ours or message not in theirs:
+            defects.append(InterfaceDefect(
+                message, "missing_message",
+                "only one side knows this message"))
+            continue
+        our_id, our_fields = ours[message]
+        their_id, their_fields = theirs[message]
+        if our_id != their_id:
+            defects.append(InterfaceDefect(
+                message, "id_mismatch", f"{our_id} vs {their_id}"))
+        our_map = dict(our_fields)
+        their_map = dict(their_fields)
+        for name in sorted(set(our_map) | set(their_map)):
+            if name not in our_map or name not in their_map:
+                defects.append(InterfaceDefect(
+                    message, "missing_field", name))
+            elif our_map[name] != their_map[name]:
+                defects.append(InterfaceDefect(
+                    message, "width_mismatch",
+                    f"{name}: {our_map[name]} vs {their_map[name]}"))
+        # offsets: fields are laid out in declaration order, so any
+        # order disagreement shifts every later field
+        shared = [n for n, _ in our_fields if n in their_map]
+        shared_theirs = [n for n, _ in their_fields if n in our_map]
+        if shared != shared_theirs:
+            defects.append(InterfaceDefect(
+                message, "offset_mismatch",
+                "field order differs; packed offsets diverge"))
+    return defects
+
+
+@dataclass
+class DriftOutcome:
+    """Result of one parallel-teams run."""
+
+    churn_events: int
+    applied_sw: int
+    applied_hw: int
+    defects: list[InterfaceDefect] = field(default_factory=list)
+
+    @property
+    def defect_count(self) -> int:
+        return len(self.defects)
+
+
+def run_parallel_teams(
+    spec,
+    churn_count: int,
+    miss_probability: float,
+    seed: int = 0,
+) -> DriftOutcome:
+    """Simulate the hand-maintained workflow under churn.
+
+    Each churn event reaches each team's copy with probability
+    ``1 - miss_probability``, independently.  Returns the integration
+    defects found when the halves finally meet.
+    """
+    if not 0.0 <= miss_probability <= 1.0:
+        raise ValueError("miss probability must be within [0, 1]")
+    rng = random.Random(seed ^ 0x5EED)
+    truth = initial_layout(spec)
+    sw_team = copy_layout(truth)
+    hw_team = copy_layout(truth)
+    events = generate_churn(truth, churn_count, seed)
+    applied_sw = applied_hw = 0
+    for event in events:
+        if rng.random() >= miss_probability:
+            apply_churn(sw_team, event)
+            applied_sw += 1
+        if rng.random() >= miss_probability:
+            apply_churn(hw_team, event)
+            applied_hw += 1
+    defects = compare_layouts(sw_team, hw_team)
+    return DriftOutcome(churn_count, applied_sw, applied_hw, defects)
+
+
+def run_generated_flow(spec, churn_count: int, seed: int = 0) -> DriftOutcome:
+    """The generated workflow under the same churn stream.
+
+    There is exactly one copy (the model-level spec); both halves are
+    regenerated from it after every change, so the comparison is between
+    two *freshly generated* views of one table.
+    """
+    truth = initial_layout(spec)
+    events = generate_churn(truth, churn_count, seed)
+    for event in events:
+        apply_churn(truth, event)
+    sw_view = copy_layout(truth)   # emit C header from the single spec
+    hw_view = copy_layout(truth)   # emit VHDL package from the same spec
+    defects = compare_layouts(sw_view, hw_view)
+    return DriftOutcome(churn_count, churn_count, churn_count, defects)

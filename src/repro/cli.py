@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The tool surface a downstream user drives without writing Python:
+
+* ``export``  — write a catalog model to a JSON model file
+* ``info``    — size/stat summary of a model file
+* ``check``   — well-formedness report (exit 1 on errors)
+* ``compile`` — run the model compiler against a marking file and
+  materialize the generated C/VHDL artifacts
+* ``verify``  — run a catalog model's formal suite on all platforms
+* ``sweep``   — co-simulate candidate partitions of the packet SoC
+
+Model files are the JSON format of :mod:`repro.xuml.serialize`; marking
+files are the sticky-note format of :class:`repro.marks.MarkSet`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.marks import MarkSet, validate_marks
+from repro.mda import ModelCompiler
+from repro.xuml import Severity, check_model, model_from_json, model_to_json
+
+
+def _load_model(path: str):
+    return model_from_json(pathlib.Path(path).read_text())
+
+
+def _load_marks(path: str | None) -> MarkSet:
+    if path is None:
+        return MarkSet()
+    return MarkSet.loads(pathlib.Path(path).read_text())
+
+
+def cmd_export(args) -> int:
+    from repro.models import build_model
+
+    model = build_model(args.name)
+    text = model_to_json(model)
+    if args.output == "-":
+        print(text)
+    else:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def cmd_info(args) -> int:
+    model = _load_model(args.model)
+    print(f"model {model.name}: {model.description or '(no description)'}")
+    for key, value in model.stats().items():
+        print(f"  {key:13s} {value}")
+    for component in model.components:
+        print(f"component {component.name}:")
+        for klass in component.classes:
+            machine = klass.statemachine
+            shape = (f"{len(machine.states)} states, "
+                     f"{len(machine.transitions)} transitions"
+                     if not machine.is_empty() else "passive")
+            print(f"  {klass.key_letters:4s} {klass.name:24s} {shape}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    model = _load_model(args.model)
+    violations = check_model(model)
+    errors = [v for v in violations if v.severity is Severity.ERROR]
+    warnings = [v for v in violations if v.severity is Severity.WARNING]
+    for violation in violations:
+        print(violation)
+    print(f"{len(errors)} error(s), {len(warnings)} warning(s)")
+    return 1 if errors else 0
+
+
+def cmd_compile(args) -> int:
+    model = _load_model(args.model)
+    marks = _load_marks(args.marks)
+    mark_problems = validate_marks(marks, model)
+    for problem in mark_problems:
+        print(f"mark: {problem}", file=sys.stderr)
+    if mark_problems:
+        return 1
+    compiler = ModelCompiler(model, component=args.component)
+    build = compiler.compile(marks)
+    print(build.partition.describe())
+    findings = build.lint()
+    for finding in findings:
+        print(f"lint: {finding}", file=sys.stderr)
+    written = build.write_to(args.output)
+    print(f"wrote {len(written)} artifacts "
+          f"({build.total_lines()} lines) to {args.output}")
+    return 1 if findings else 0
+
+
+def cmd_verify(args) -> int:
+    from repro.models import build_model
+    from repro.verify import check_conformance, suite_for
+
+    model = build_model(args.name)
+    report = check_conformance(model, suite_for(args.name))
+    print(report.render())
+    return 0 if report.conformant else 1
+
+
+def cmd_export_suite(args) -> int:
+    from repro.verify import suite_for, suite_to_json
+
+    text = suite_to_json(suite_for(args.name))
+    if args.output == "-":
+        print(text)
+    else:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_run_suite(args) -> int:
+    from repro.verify import check_conformance, suite_from_json
+
+    model = _load_model(args.model)
+    cases = suite_from_json(pathlib.Path(args.suite).read_text())
+    report = check_conformance(model, cases)
+    print(report.render())
+    return 0 if report.conformant else 1
+
+
+def cmd_sweep(args) -> int:
+    from repro.cosim import (
+        best_partition,
+        poisson_packets,
+        render_table,
+        sweep_partitions,
+        write_csv,
+    )
+    from repro.models import build_packetproc_model
+
+    model = build_packetproc_model()
+    candidates = [(), ("CE",), ("D",), ("CE", "D"), ("CE", "CL", "D")]
+    packets = poisson_packets(args.packets, rate_per_ms=args.rate,
+                              seed=args.seed)
+    rows = sweep_partitions(model, candidates, packets)
+    print(render_table(rows))
+    print(f"winner: {best_partition(rows).label}")
+    if args.csv:
+        print(f"wrote {write_csv(rows, args.csv)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable/Translatable UML toolchain for SoC",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    export = commands.add_parser(
+        "export", help="write a catalog model to a JSON model file")
+    export.add_argument("name", help="catalog model name (e.g. microwave)")
+    export.add_argument("-o", "--output", default="-",
+                        help="output path ('-' for stdout)")
+    export.set_defaults(func=cmd_export)
+
+    info = commands.add_parser("info", help="summarize a model file")
+    info.add_argument("model", help="model JSON file")
+    info.set_defaults(func=cmd_info)
+
+    check = commands.add_parser(
+        "check", help="well-formedness report (exit 1 on errors)")
+    check.add_argument("model", help="model JSON file")
+    check.set_defaults(func=cmd_check)
+
+    compile_cmd = commands.add_parser(
+        "compile", help="translate a model against a marking file")
+    compile_cmd.add_argument("model", help="model JSON file")
+    compile_cmd.add_argument("--marks", help="marking (.mks) file")
+    compile_cmd.add_argument("--component", help="component name "
+                             "(defaults to the model's only component)")
+    compile_cmd.add_argument("-o", "--output", default="generated",
+                             help="artifact output directory")
+    compile_cmd.set_defaults(func=cmd_compile)
+
+    verify = commands.add_parser(
+        "verify", help="run a catalog model's formal suite on all platforms")
+    verify.add_argument("name", help="catalog model name")
+    verify.set_defaults(func=cmd_verify)
+
+    export_suite = commands.add_parser(
+        "export-suite", help="write a catalog model's formal suite to JSON")
+    export_suite.add_argument("name", help="catalog model name")
+    export_suite.add_argument("-o", "--output", default="-",
+                              help="output path ('-' for stdout)")
+    export_suite.set_defaults(func=cmd_export_suite)
+
+    run_suite = commands.add_parser(
+        "run-suite",
+        help="run a suite file against a model file on all platforms")
+    run_suite.add_argument("model", help="model JSON file")
+    run_suite.add_argument("suite", help="suite JSON file")
+    run_suite.set_defaults(func=cmd_run_suite)
+
+    sweep = commands.add_parser(
+        "sweep", help="co-simulate candidate partitions of the packet SoC")
+    sweep.add_argument("--rate", type=float, default=150.0,
+                       help="offered load, packets per millisecond")
+    sweep.add_argument("--packets", type=int, default=200,
+                       help="number of packets to inject")
+    sweep.add_argument("--seed", type=int, default=7, help="workload seed")
+    sweep.add_argument("--csv", help="also write results to this CSV file")
+    sweep.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

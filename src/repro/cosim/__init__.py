@@ -1,0 +1,54 @@
+"""Co-simulation of the partitioned SoC (the paper's "prototype runs").
+
+* :class:`CoSimMachine` — timed execution of a compiled build: one CPU,
+  concurrent hardware blocks, a shared arbitrated bus carrying generated
+  interface messages
+* :class:`CoSimConfig` — the documented platform timing model
+* :class:`LatencyProbe` / :class:`ThroughputProbe` — measurement
+* :func:`sweep_partitions` — marks -> compile -> measure, per candidate
+"""
+
+from .bus import Bus, BusRequest, BusStats
+from .config import CoSimConfig
+from .engine import CoSimError, CoSimMachine, ResourceStats, US_TO_NS
+from .perf import (
+    LatencyProbe,
+    LatencySample,
+    PartitionMeasurement,
+    ThroughputProbe,
+)
+from .report import measurements_to_csv, render_table, write_csv
+from .sweep import best_partition, measure_partition, sweep_partitions
+from .workload import (
+    PacketStimulus,
+    bursty_packets,
+    inject_stimulus,
+    periodic_packets,
+    poisson_packets,
+)
+
+__all__ = [
+    "Bus",
+    "BusRequest",
+    "BusStats",
+    "CoSimConfig",
+    "CoSimError",
+    "CoSimMachine",
+    "LatencyProbe",
+    "LatencySample",
+    "PacketStimulus",
+    "PartitionMeasurement",
+    "ResourceStats",
+    "ThroughputProbe",
+    "US_TO_NS",
+    "best_partition",
+    "bursty_packets",
+    "inject_stimulus",
+    "measure_partition",
+    "measurements_to_csv",
+    "periodic_packets",
+    "poisson_packets",
+    "render_table",
+    "sweep_partitions",
+    "write_csv",
+]

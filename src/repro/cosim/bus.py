@@ -1,0 +1,104 @@
+"""The shared on-chip bus.
+
+Cross-partition messages are serialized through one bus.  The bus grants
+pending requests one at a time; the grant order is the arbitration
+policy (E4 ablates fixed-priority against round-robin against FIFO).
+Occupancy per message comes from :meth:`CoSimConfig.bus_transfer_ns`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import CoSimConfig
+
+
+@dataclass
+class BusRequest:
+    """One pending cross-partition message."""
+
+    ready_at: int
+    sequence: int
+    message_id: int
+    payload_bytes: int
+    sender_side: str            # "hw" or "sw"
+    deliver: object             # zero-arg callable run at delivery time
+
+
+@dataclass
+class BusStats:
+    """Aggregate bus accounting."""
+
+    messages: int = 0
+    bytes_moved: int = 0
+    busy_ns: int = 0
+    wait_ns: int = 0
+
+    def utilization(self, horizon_ns: int) -> float:
+        if horizon_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / horizon_ns)
+
+
+class Bus:
+    """Single-master-at-a-time shared bus with pluggable arbitration."""
+
+    def __init__(self, config: CoSimConfig):
+        self._config = config.validated()
+        self._pending: list[BusRequest] = []
+        self._free_at = 0
+        self._rr_last_side = "hw"    # round-robin alternates sides
+        self.stats = BusStats()
+
+    @property
+    def free_at(self) -> int:
+        return self._free_at
+
+    def request(self, request: BusRequest) -> None:
+        self._pending.append(request)
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def next_ready_time(self) -> int | None:
+        if not self._pending:
+            return None
+        earliest = min(r.ready_at for r in self._pending)
+        return max(earliest, self._free_at)
+
+    def grant(self, now: int) -> tuple[int, BusRequest] | None:
+        """Grant one request if the bus is idle at *now*.
+
+        Returns ``(delivery_time, request)`` after accounting, or None.
+        The caller invokes ``request.deliver()`` at the delivery time.
+        """
+        if now < self._free_at or not self._pending:
+            return None
+        ready = [r for r in self._pending if r.ready_at <= now]
+        if not ready:
+            return None
+        chosen = self._arbitrate(ready)
+        self._pending.remove(chosen)
+        transfer = self._config.bus_transfer_ns(chosen.payload_bytes)
+        start = max(now, chosen.ready_at)
+        delivery = start + transfer
+        self._free_at = delivery
+        self.stats.messages += 1
+        self.stats.bytes_moved += chosen.payload_bytes
+        self.stats.busy_ns += transfer
+        self.stats.wait_ns += start - chosen.ready_at
+        if self._config.bus_policy == "round_robin":
+            self._rr_last_side = chosen.sender_side
+        return delivery, chosen
+
+    def _arbitrate(self, ready: list[BusRequest]) -> BusRequest:
+        policy = self._config.bus_policy
+        if policy == "priority":
+            # lower message id = higher priority; FIFO within a priority
+            return min(ready, key=lambda r: (r.message_id, r.sequence))
+        if policy == "round_robin":
+            other = "sw" if self._rr_last_side == "hw" else "hw"
+            preferred = [r for r in ready if r.sender_side == other]
+            pool = preferred or ready
+            return min(pool, key=lambda r: r.sequence)
+        return min(ready, key=lambda r: r.sequence)   # fifo

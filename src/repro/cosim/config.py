@@ -1,0 +1,55 @@
+"""Co-simulation platform parameters.
+
+The timing model is deliberately simple and fully documented, because
+experiment E4 only needs *relative* behaviour (who wins, where the
+crossover sits), not absolute silicon numbers:
+
+* software actions execute on one shared CPU, sequentially, at a fixed
+  cost per executed IR operation plus a per-dispatch overhead (the
+  kernel's queue pop + context);
+* each hardware class instance is its own always-available resource with
+  a (lower) per-operation cost — specialized logic, no contention;
+* every cross-partition signal pays the shared bus: arbitration plus a
+  per-byte transfer cost; the bus serves one message at a time under a
+  selectable policy.
+
+All times are integer nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoSimConfig:
+    """Platform timing parameters (nanoseconds)."""
+
+    #: cost of one executed IR operation on the CPU
+    sw_ns_per_op: int = 20
+    #: kernel overhead charged per software event dispatch
+    sw_dispatch_ns: int = 200
+    #: cost of one executed IR operation in a hardware block
+    hw_ns_per_op: int = 5
+    #: hardware event capture overhead (one clock edge at 100 MHz)
+    hw_dispatch_ns: int = 10
+    #: bus arbitration cost per message
+    bus_arbitration_ns: int = 50
+    #: per-byte transfer cost (8-byte beats at 100 MHz ~ 1.25 ns/B)
+    bus_ns_per_byte: float = 1.25
+    #: "fifo" | "priority" | "round_robin"
+    bus_policy: str = "fifo"
+
+    def bus_transfer_ns(self, payload_bytes: int) -> int:
+        """Total bus occupancy of one message."""
+        return self.bus_arbitration_ns + int(
+            round(payload_bytes * self.bus_ns_per_byte))
+
+    def validated(self) -> "CoSimConfig":
+        if self.bus_policy not in ("fifo", "priority", "round_robin"):
+            raise ValueError(f"unknown bus policy {self.bus_policy!r}")
+        for name in ("sw_ns_per_op", "sw_dispatch_ns", "hw_ns_per_op",
+                     "hw_dispatch_ns", "bus_arbitration_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        return self

@@ -1,0 +1,334 @@
+"""The co-simulation engine.
+
+"Once the prototype runs, it is possible to measure the performance,
+which may require changing the partition" (paper section 1).  This
+engine is that prototype: it executes a compiled :class:`Build` as a
+timed discrete-event simulation of the SoC platform —
+
+* one shared CPU serializes every software-class dispatch;
+* each hardware-class instance is its own concurrent resource;
+* boundary signals travel over the shared :class:`~repro.cosim.bus.Bus`,
+  paying arbitration and per-byte transfer, packed through the generated
+  interface codec (so cross-partition traffic exercises the generated
+  message layouts on every hop);
+* action cost is the *dynamically executed* IR operation count times the
+  platform's per-op cost, so a loop over a long packet really costs more
+  than a short one.
+
+Changing the partition means flipping marks and recompiling — nothing in
+the stimulus or the measurement code changes, which is precisely the
+workflow the paper advertises.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.mda.archrt import TargetMachine
+from repro.mda.compiler import Build
+from repro.mda.interfacegen import InterfaceCodec
+from repro.runtime.events import InstanceQueue, SignalInstance
+
+from .bus import Bus, BusRequest
+from .config import CoSimConfig
+
+#: model time (microseconds) to platform time (nanoseconds)
+US_TO_NS = 1_000
+
+
+class CoSimError(Exception):
+    """Co-simulation setup or execution failure."""
+
+
+@dataclass
+class ResourceStats:
+    """Busy accounting for one execution resource."""
+
+    name: str
+    busy_ns: int = 0
+    dispatches: int = 0
+
+    def utilization(self, horizon_ns: int) -> float:
+        if horizon_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / horizon_ns)
+
+
+class CoSimMachine(TargetMachine):
+    """Timed execution of one build on the modelled SoC platform."""
+
+    def __init__(self, build: Build, config: CoSimConfig | None = None):
+        super().__init__(build.manifest)
+        self.build = build
+        self.config = (config or CoSimConfig()).validated()
+        self.partition = build.partition
+        self.bus = Bus(self.config)
+        self._codec = InterfaceCodec.from_artifact(
+            build.interface.emit_c_header())
+        # timed event structures (self.pool is unused here)
+        self._heap: list[tuple[int, int, int, object]] = []
+        self._heap_seq = 0
+        self._queues: dict[int, InstanceQueue] = {}
+        self._creation_queue: list[SignalInstance] = []
+        self._cpu_free_at = 0
+        self._hw_free_at: dict[int, int] = {}
+        self._emit_buffer: list[tuple[SignalInstance, int]] | None = None
+        self.cpu_stats = ResourceStats("cpu")
+        self.hw_stats: dict[str, ResourceStats] = {
+            key: ResourceStats(f"hw:{key}")
+            for key in self.partition.hardware_classes
+        }
+        self.bus_messages_sent = 0
+        #: observers: callables (time_ns, signal) for sent/consumed signals
+        self.on_sent: list = []
+        self.on_consumed: list = []
+
+    # -- sides ------------------------------------------------------------------
+
+    def side_of_class(self, class_key: str) -> str:
+        return self.partition.side_of(class_key)
+
+    def _resource_free_at(self, handle: int, class_key: str) -> int:
+        if self.side_of_class(class_key) == "sw":
+            return self._cpu_free_at
+        return self._hw_free_at.get(handle, 0)
+
+    # -- signal plumbing (overrides the untimed pool) ------------------------------
+
+    def _enqueue(self, signal: SignalInstance, delay: int) -> None:
+        if self._emit_buffer is not None:
+            self._emit_buffer.append((signal, delay))
+            return
+        self._route(signal, self.now + delay * US_TO_NS)
+
+    def _route(self, signal: SignalInstance, ready_ns: int) -> None:
+        """Send *signal* towards its receiver, via the bus if it crosses."""
+        for observer in self.on_sent:
+            observer(ready_ns, signal)
+        sender_side = None
+        if signal.sender_handle is not None:
+            sender_side = self.side_of_class(
+                self.class_of(signal.sender_handle))
+        receiver_side = self.side_of_class(signal.class_key)
+        crosses = sender_side is not None and sender_side != receiver_side
+        if not crosses:
+            self._push_heap(ready_ns, "arrival", signal)
+            return
+        message = self.build.interface.message_for(
+            signal.class_key, signal.label)
+        # pack through the generated layout: the payload a real bus carries
+        values = {"target_instance": signal.target_handle or 0}
+        values.update({
+            name: self._bus_encode(signal.params.get(name), tag)
+            for name, tag, _o, _w in self._codec.layouts[message.name][2]
+            if name != "target_instance"
+        })
+        payload = self._codec.pack(message.name, values)
+        self.bus_messages_sent += 1
+        self.bus.request(BusRequest(
+            ready_at=ready_ns,
+            sequence=signal.sequence,
+            message_id=message.message_id,
+            payload_bytes=len(payload),
+            sender_side=sender_side,
+            deliver=lambda s=signal: self._push_heap_now("arrival", s),
+        ))
+        self._push_heap(ready_ns, "bus_poll", None)
+
+    def _bus_encode(self, value, tag: str):
+        if value is None:
+            return 0
+        if tag.startswith("enum:"):
+            enum_name = tag.split(":", 1)[1]
+            return self.manifest.enums[enum_name].index(value) \
+                if isinstance(value, str) else int(value)
+        if tag.startswith("inst_ref"):
+            return int(value) if value else 0
+        return value
+
+    def _push_heap(self, time_ns: int, kind: str, payload) -> None:
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (time_ns, self._heap_seq, kind, payload))
+
+    def _push_heap_now(self, kind: str, payload) -> None:
+        self._push_heap(self.now, kind, payload)
+
+    # -- the discrete-event loop -----------------------------------------------------
+
+    def run(self, horizon_us: int | None = None,
+            max_dispatches: int = 2_000_000) -> int:
+        """Run to quiescence (or to the horizon).  Returns dispatch count."""
+        horizon_ns = None if horizon_us is None else horizon_us * US_TO_NS
+        dispatches = 0
+        while dispatches < max_dispatches:
+            advanced = self._drain_heap(horizon_ns)
+            started = self._start_services(horizon_ns)
+            dispatches += started
+            if started or advanced:
+                continue
+            next_time = self._next_event_time()
+            if next_time is None:
+                break
+            if horizon_ns is not None and next_time > horizon_ns:
+                break
+            self.now = max(self.now, next_time)
+        else:
+            raise CoSimError(f"exceeded {max_dispatches} dispatches")
+        if horizon_ns is not None:
+            self.now = max(self.now, horizon_ns)
+        return dispatches
+
+    def _next_event_time(self) -> int | None:
+        times = []
+        if self._heap:
+            times.append(self._heap[0][0])
+        bus_next = self.bus.next_ready_time()
+        if bus_next is not None:
+            times.append(bus_next)
+        for handle, queue in self._queues.items():
+            if queue:
+                class_key = self._class_of.get(handle)
+                if class_key is None:
+                    continue
+                times.append(self._resource_free_at(handle, class_key))
+        if self._creation_queue:
+            times.append(self._cpu_free_at)
+        return min(times) if times else None
+
+    def _drain_heap(self, horizon_ns) -> bool:
+        advanced = False
+        while self._heap and self._heap[0][0] <= self.now:
+            _t, _s, kind, payload = heapq.heappop(self._heap)
+            if kind == "arrival":
+                self._deliver(payload)
+                advanced = True
+            elif kind == "bus_poll":
+                granted = self.bus.grant(self.now)
+                while granted is not None:
+                    delivery, request = granted
+                    self._push_heap(delivery, "bus_deliver", request)
+                    granted = self.bus.grant(self.now)
+                advanced = True
+            elif kind == "bus_deliver":
+                payload.deliver()
+                # the bus may have more queued work now that it is free
+                self._push_heap_now("bus_poll", None)
+                advanced = True
+        return advanced
+
+    def _deliver(self, signal: SignalInstance) -> None:
+        if signal.is_creation:
+            self._creation_queue.append(signal)
+            return
+        if signal.target_handle not in self._class_of:
+            return  # receiver died in flight
+        queue = self._queues.get(signal.target_handle)
+        if queue is None:
+            queue = InstanceQueue()
+            self._queues[signal.target_handle] = queue
+        queue.push(signal)
+
+    def _start_services(self, horizon_ns) -> int:
+        started = 0
+        # hardware instances are independent resources: start any that can
+        for handle in sorted(self._queues):
+            queue = self._queues[handle]
+            if not queue:
+                continue
+            class_key = self._class_of.get(handle)
+            if class_key is None or self.side_of_class(class_key) != "hw":
+                continue
+            if self._hw_free_at.get(handle, 0) <= self.now:
+                self._service(handle, class_key, queue.pop())
+                started += 1
+        # the single CPU: at most one software dispatch per pass
+        if self._cpu_free_at <= self.now:
+            chosen = self._choose_software()
+            if chosen is not None:
+                handle, signal = chosen
+                class_key = signal.class_key
+                self._service(handle, class_key, signal)
+                started += 1
+        return started
+
+    def _choose_software(self):
+        """kernel order: global self-first, then send order (plus creations)."""
+        candidates = []
+        for handle in sorted(self._queues):
+            queue = self._queues[handle]
+            if not queue:
+                continue
+            class_key = self._class_of.get(handle)
+            if class_key is None or self.side_of_class(class_key) != "sw":
+                continue
+            head = queue.peek()
+            candidates.append(((not head.is_self_directed, head.sequence),
+                               handle, queue))
+        creation = None
+        for signal in self._creation_queue:
+            if self.side_of_class(signal.class_key) == "sw":
+                creation = signal
+                break
+        if creation is not None:
+            candidates.append((((True, creation.sequence)), None, None))
+        if not candidates:
+            # hardware creation events are dispatched by the CPU-side
+            # configuration master too (instance banks are provisioned
+            # by software), so fall back to any creation
+            if self._creation_queue:
+                signal = self._creation_queue.pop(0)
+                return (None, signal)
+            return None
+        candidates.sort(key=lambda c: c[0])
+        _key, handle, queue = candidates[0]
+        if handle is None:
+            self._creation_queue.remove(creation)
+            return (None, creation)
+        return (handle, queue.pop())
+
+    def _service(self, handle, class_key: str, signal: SignalInstance) -> None:
+        side = self.side_of_class(class_key)
+        ops_before = self.ops_executed
+        self._emit_buffer = []
+        start = self.now
+        for observer in self.on_consumed:
+            observer(start, signal)
+        try:
+            self.dispatch(signal)
+        finally:
+            emitted = self._emit_buffer
+            self._emit_buffer = None
+        ops = self.ops_executed - ops_before
+        if side == "sw":
+            duration = self.config.sw_dispatch_ns + ops * self.config.sw_ns_per_op
+            self._cpu_free_at = start + duration
+            self.cpu_stats.busy_ns += duration
+            self.cpu_stats.dispatches += 1
+        else:
+            duration = self.config.hw_dispatch_ns + ops * self.config.hw_ns_per_op
+            # creation events target a fresh handle; charge its bank
+            owner = signal.target_handle if signal.target_handle is not None \
+                else handle
+            if owner is not None:
+                self._hw_free_at[owner] = start + duration
+            stats = self.hw_stats.get(class_key)
+            if stats is not None:
+                stats.busy_ns += duration
+                stats.dispatches += 1
+        end = start + duration
+        for emitted_signal, delay in emitted:
+            self._route(emitted_signal, end + delay * US_TO_NS)
+
+    def _dispatch_creation(self, signal: SignalInstance) -> None:
+        super()._dispatch_creation(signal)
+
+    # -- measurement helpers ------------------------------------------------------
+
+    def utilization_report(self) -> dict[str, float]:
+        horizon = max(self.now, 1)
+        report = {"cpu": self.cpu_stats.utilization(horizon),
+                  "bus": self.bus.stats.utilization(horizon)}
+        for key, stats in self.hw_stats.items():
+            report[f"hw:{key}"] = stats.utilization(horizon)
+        return report

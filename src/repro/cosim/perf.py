@@ -1,0 +1,131 @@
+"""Performance probes over a co-simulation.
+
+Probes observe signal traffic through the machine's ``on_sent`` /
+``on_consumed`` hooks and aggregate the numbers the paper's workflow
+needs to *decide a partition*: end-to-end latency, throughput and
+resource utilization.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from .engine import CoSimMachine
+
+
+@dataclass
+class LatencySample:
+    key: object
+    start_ns: int
+    end_ns: int
+
+    @property
+    def latency_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+class LatencyProbe:
+    """End-to-end latency between two signal observations.
+
+    ``start`` fires when a signal with the given (class, label) is *sent*
+    and ``end`` when one is *consumed*; samples are correlated on the
+    value of ``key_param`` (e.g. ``pkt_id``).
+    """
+
+    def __init__(
+        self,
+        machine: CoSimMachine,
+        start: tuple[str, str],
+        end: tuple[str, str],
+        key_param: str,
+    ):
+        self._start = start
+        self._end = end
+        self._key_param = key_param
+        self._open: dict[object, int] = {}
+        self.samples: list[LatencySample] = []
+        machine.on_sent.append(self._on_sent)
+        machine.on_consumed.append(self._on_consumed)
+
+    def _on_sent(self, time_ns: int, signal) -> None:
+        if (signal.class_key, signal.label) != self._start:
+            return
+        key = signal.params.get(self._key_param)
+        self._open.setdefault(key, time_ns)
+
+    def _on_consumed(self, time_ns: int, signal) -> None:
+        if (signal.class_key, signal.label) != self._end:
+            return
+        key = signal.params.get(self._key_param)
+        start = self._open.pop(key, None)
+        if start is not None:
+            self.samples.append(LatencySample(key, start, time_ns))
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean_ns(self) -> float:
+        if not self.samples:
+            return float("nan")
+        return statistics.fmean(s.latency_ns for s in self.samples)
+
+    def p99_ns(self) -> float:
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(s.latency_ns for s in self.samples)
+        index = min(len(ordered) - 1, int(round(0.99 * (len(ordered) - 1))))
+        return float(ordered[index])
+
+    def max_ns(self) -> int:
+        return max((s.latency_ns for s in self.samples), default=0)
+
+
+class ThroughputProbe:
+    """Completions per second of one consumed signal."""
+
+    def __init__(self, machine: CoSimMachine, signal: tuple[str, str]):
+        self._signal = signal
+        self._machine = machine
+        self.completions = 0
+        self.first_ns: int | None = None
+        self.last_ns: int | None = None
+        machine.on_consumed.append(self._on_consumed)
+
+    def _on_consumed(self, time_ns: int, signal) -> None:
+        if (signal.class_key, signal.label) != self._signal:
+            return
+        self.completions += 1
+        if self.first_ns is None:
+            self.first_ns = time_ns
+        self.last_ns = time_ns
+
+    def per_second(self) -> float:
+        if self.completions < 2 or self.first_ns == self.last_ns:
+            return 0.0
+        span_s = (self.last_ns - self.first_ns) / 1e9
+        return (self.completions - 1) / span_s
+
+
+@dataclass
+class PartitionMeasurement:
+    """One row of the E4 partition sweep."""
+
+    hardware_classes: tuple[str, ...]
+    offered_packets: int
+    completed: int
+    mean_latency_ns: float
+    p99_latency_ns: float
+    throughput_per_s: float
+    cpu_utilization: float
+    bus_utilization: float
+    bus_messages: int
+    makespan_ns: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return "+".join(self.hardware_classes) or "(all software)"

@@ -1,0 +1,100 @@
+"""Partition sweeps — "measure, then move the marks".
+
+Drives the full paper workflow end to end, once per candidate partition:
+
+    marks -> compile -> co-simulate under a fixed workload -> measure
+
+The stimulus, probes and measurement code never change between
+partitions; only the marking file does.  That invariance *is* the claim
+of paper section 4, and experiment E4 reports the resulting latency /
+throughput / utilization table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.marks.partition import marks_for_partition
+from repro.mda.compiler import ModelCompiler
+from repro.xuml.model import Model
+
+from .config import CoSimConfig
+from .engine import CoSimMachine
+from .perf import LatencyProbe, PartitionMeasurement, ThroughputProbe
+from .workload import PacketStimulus, inject_stimulus
+
+
+def measure_partition(
+    model: Model,
+    hardware_classes: tuple[str, ...],
+    packets: list[PacketStimulus],
+    config: CoSimConfig | None = None,
+    populate: Callable[[CoSimMachine], dict] | None = None,
+    horizon_us: int | None = None,
+) -> PartitionMeasurement:
+    """Compile *model* with the given classes in hardware and measure it.
+
+    *populate* builds the instance population on the machine and returns
+    a handle map containing at least ``"M"`` (the stimulus entry point);
+    by default the packet-processor population is used.
+    """
+    component = model.components[0]
+    marks = marks_for_partition(component, tuple(hardware_classes))
+    build = ModelCompiler(model).compile(marks)
+    machine = CoSimMachine(build, config)
+
+    if populate is None:
+        from repro.models import packetproc
+        handles = packetproc.populate(machine)
+    else:
+        handles = populate(machine)
+
+    latency = LatencyProbe(
+        machine, start=("M", "M1"), end=("ST", "ST1"), key_param="pkt_id")
+    throughput = ThroughputProbe(machine, signal=("ST", "ST1"))
+    inject_stimulus(machine, handles["M"], packets)
+    machine.run(horizon_us=horizon_us)
+
+    utilization = machine.utilization_report()
+    return PartitionMeasurement(
+        hardware_classes=tuple(hardware_classes),
+        offered_packets=len(packets),
+        completed=latency.count,
+        mean_latency_ns=latency.mean_ns(),
+        p99_latency_ns=latency.p99_ns(),
+        throughput_per_s=throughput.per_second(),
+        cpu_utilization=utilization["cpu"],
+        bus_utilization=utilization["bus"],
+        bus_messages=machine.bus.stats.messages,
+        makespan_ns=machine.now,
+        extras={"utilization": utilization},
+    )
+
+
+def sweep_partitions(
+    model: Model,
+    candidates: Iterable[tuple[str, ...]],
+    packets: list[PacketStimulus],
+    config: CoSimConfig | None = None,
+    populate: Callable[[CoSimMachine], dict] | None = None,
+) -> list[PartitionMeasurement]:
+    """Measure every candidate partition under one fixed workload."""
+    return [
+        measure_partition(model, candidate, packets, config, populate)
+        for candidate in candidates
+    ]
+
+
+def best_partition(
+    measurements: list[PartitionMeasurement],
+    objective: str = "mean_latency_ns",
+) -> PartitionMeasurement:
+    """The sweep winner under an objective (lower is better, except
+    throughput where higher wins)."""
+    if not measurements:
+        raise ValueError("no measurements to choose from")
+    complete = [m for m in measurements
+                if m.completed == m.offered_packets] or measurements
+    if objective == "throughput_per_s":
+        return max(complete, key=lambda m: m.throughput_per_s)
+    return min(complete, key=lambda m: getattr(m, objective))

@@ -1,0 +1,40 @@
+"""Marks and partitions (paper section 3).
+
+* :class:`MarkSet` — sticky notes kept outside the model, with a declared
+  vocabulary (:data:`STANDARD_MARKS`, headed by ``isHardware``)
+* :func:`derive_partition` — marks -> hardware/software split + boundary
+* :func:`validate_marks` — keep marking files honest against the model
+* :func:`diff_marks` / :func:`partition_change_cost` — repartition cost
+"""
+
+from .diff import ChangeKind, MarkChange, diff_marks, partition_change_cost
+from .model import STANDARD_MARKS, Mark, MarkDefinition, MarkError, MarkSet
+from .partition import (
+    Partition,
+    SignalFlow,
+    all_partitions,
+    derive_partition,
+    marks_for_partition,
+    signal_flows,
+)
+from .validate import MarkViolation, validate_marks
+
+__all__ = [
+    "ChangeKind",
+    "Mark",
+    "MarkChange",
+    "MarkDefinition",
+    "MarkError",
+    "MarkSet",
+    "MarkViolation",
+    "Partition",
+    "STANDARD_MARKS",
+    "SignalFlow",
+    "all_partitions",
+    "derive_partition",
+    "diff_marks",
+    "marks_for_partition",
+    "partition_change_cost",
+    "signal_flows",
+    "validate_marks",
+]

@@ -1,0 +1,73 @@
+"""Mark-set diffing — the unit of repartitioning cost.
+
+"Changing the partition is a matter of changing the placement of the
+marks" (paper section 4).  E2 quantifies that: the cost of moving from
+one partition to another, measured in *mark flips*, versus the lines of
+implementation text the change touches in an implementation-first
+workflow.  This module computes the flips.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .model import MarkSet
+
+
+class ChangeKind(enum.Enum):
+    ADDED = "added"
+    REMOVED = "removed"
+    CHANGED = "changed"
+
+
+@dataclass(frozen=True)
+class MarkChange:
+    """One edit between two marking files."""
+
+    kind: ChangeKind
+    element_path: str
+    mark_name: str
+    old_value: object = None
+    new_value: object = None
+
+    def __str__(self) -> str:
+        if self.kind is ChangeKind.ADDED:
+            return f"+ {self.element_path} {self.mark_name} = {self.new_value}"
+        if self.kind is ChangeKind.REMOVED:
+            return f"- {self.element_path} {self.mark_name} (was {self.old_value})"
+        return (
+            f"~ {self.element_path} {self.mark_name}: "
+            f"{self.old_value} -> {self.new_value}"
+        )
+
+
+def diff_marks(old: MarkSet, new: MarkSet) -> list[MarkChange]:
+    """All edits needed to turn *old* into *new* (deterministic order)."""
+    old_map = {(m.element_path, m.name): m.value for m in old.marks}
+    new_map = {(m.element_path, m.name): m.value for m in new.marks}
+    changes: list[MarkChange] = []
+    for key in sorted(set(old_map) | set(new_map)):
+        path, name = key
+        if key not in old_map:
+            changes.append(MarkChange(ChangeKind.ADDED, path, name,
+                                      new_value=new_map[key]))
+        elif key not in new_map:
+            changes.append(MarkChange(ChangeKind.REMOVED, path, name,
+                                      old_value=old_map[key]))
+        elif old_map[key] != new_map[key]:
+            changes.append(MarkChange(ChangeKind.CHANGED, path, name,
+                                      old_value=old_map[key],
+                                      new_value=new_map[key]))
+    return changes
+
+
+def partition_change_cost(old: MarkSet, new: MarkSet) -> int:
+    """Number of ``isHardware`` flips between two marking sets.
+
+    This is the paper's claimed cost of a repartition: the count of
+    sticky notes that moved.
+    """
+    return sum(
+        1 for change in diff_marks(old, new) if change.mark_name == "isHardware"
+    )

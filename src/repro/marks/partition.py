@@ -1,0 +1,152 @@
+"""Partition derivation — from marks to a hardware/software split.
+
+"At system construction time, the conceptual objects are mapped to
+hardware and software" (paper section 4).  The split is decided solely by
+``isHardware`` marks; everything else in the toolchain (generators,
+interface spec, co-simulation) consumes the derived :class:`Partition`,
+never the marks directly — so a partition change really is "a matter of
+changing the placement of the marks".
+
+The partition also computes the *boundary*: every (sender class, event)
+pair whose receiver lives on the other side.  Boundary signals are what
+the interface generator turns into bus messages with generated C and
+VHDL endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.oal import ast
+from repro.oal.analyzer import analyze_activity
+from repro.oal.parser import parse_activity
+from repro.xuml.component import Component
+from repro.xuml.model import Model
+
+from .model import MarkSet
+
+
+@dataclass(frozen=True)
+class SignalFlow:
+    """A statically discovered signal path: sender class -> receiver class."""
+
+    sender_class: str
+    receiver_class: str
+    event_label: str
+
+    def __str__(self) -> str:
+        return f"{self.sender_class} --{self.event_label}--> {self.receiver_class}"
+
+
+def signal_flows(model: Model, component: Component) -> tuple[SignalFlow, ...]:
+    """All (sender, receiver, event) triples found in the component's actions.
+
+    Discovered by walking every state activity's ``generate`` statements;
+    the analyzer resolves each statement's receiving class.  Environment
+    injections are not included (they have no sending class).
+    """
+    flows: set[SignalFlow] = set()
+    for klass in component.classes:
+        for state in klass.statemachine.states:
+            block = parse_activity(state.activity)
+            analysis = analyze_activity(block, model, component, klass, state)
+            for stmt in ast.walk_statements(block):
+                if isinstance(stmt, ast.Generate):
+                    receiver = analysis.generate_classes[id(stmt)]
+                    flows.add(SignalFlow(klass.key_letters, receiver, stmt.event_label))
+    return tuple(sorted(flows, key=lambda f: (f.sender_class, f.receiver_class, f.event_label)))
+
+
+@dataclass
+class Partition:
+    """The realized hardware/software split of one component."""
+
+    component_name: str
+    hardware_classes: tuple[str, ...]
+    software_classes: tuple[str, ...]
+    boundary_flows: tuple[SignalFlow, ...]
+    internal_flows: tuple[SignalFlow, ...] = field(default_factory=tuple)
+
+    def side_of(self, class_key: str) -> str:
+        if class_key in self.hardware_classes:
+            return "hw"
+        if class_key in self.software_classes:
+            return "sw"
+        raise KeyError(f"class {class_key!r} is not in this partition")
+
+    @property
+    def is_pure_software(self) -> bool:
+        return not self.hardware_classes
+
+    @property
+    def is_pure_hardware(self) -> bool:
+        return not self.software_classes
+
+    def describe(self) -> str:
+        lines = [f"partition of component {self.component_name}:"]
+        lines.append(f"  hardware: {', '.join(self.hardware_classes) or '(none)'}")
+        lines.append(f"  software: {', '.join(self.software_classes) or '(none)'}")
+        lines.append(f"  boundary signals: {len(self.boundary_flows)}")
+        for flow in self.boundary_flows:
+            lines.append(f"    {flow}")
+        return "\n".join(lines)
+
+
+def derive_partition(
+    model: Model, component: Component, marks: MarkSet
+) -> Partition:
+    """Compute the partition the marks describe."""
+    hardware: list[str] = []
+    software: list[str] = []
+    for klass in component.classes:
+        path = f"{component.name}.{klass.key_letters}"
+        if marks.get(path, "isHardware"):
+            hardware.append(klass.key_letters)
+        else:
+            software.append(klass.key_letters)
+    flows = signal_flows(model, component)
+    side = {key: "hw" for key in hardware}
+    side.update({key: "sw" for key in software})
+    boundary = tuple(
+        flow for flow in flows
+        if side[flow.sender_class] != side[flow.receiver_class]
+    )
+    internal = tuple(
+        flow for flow in flows
+        if side[flow.sender_class] == side[flow.receiver_class]
+    )
+    return Partition(
+        component.name, tuple(hardware), tuple(software), boundary, internal
+    )
+
+
+def all_partitions(component: Component) -> tuple[tuple[str, ...], ...]:
+    """Every possible hardware subset of the component's classes.
+
+    Used by the E4 sweep; for k classes this is 2^k candidate partitions,
+    ordered by (size, lexicographic) for reproducible sweeps.
+    """
+    keys = sorted(component.class_keys)
+    subsets: list[tuple[str, ...]] = []
+    for bits in range(1 << len(keys)):
+        subset = tuple(keys[i] for i in range(len(keys)) if bits & (1 << i))
+        subsets.append(subset)
+    subsets.sort(key=lambda s: (len(s), s))
+    return tuple(subsets)
+
+
+def marks_for_partition(
+    component: Component, hardware_classes: tuple[str, ...],
+    base: MarkSet | None = None,
+) -> MarkSet:
+    """Produce the mark set that realizes *hardware_classes*.
+
+    Starts from *base* (default: empty standard-vocabulary set) and sets
+    ``isHardware`` explicitly on every class — the generated marking file
+    is the complete, reviewable record of the partition decision.
+    """
+    marks = base.copy() if base is not None else MarkSet()
+    for key in component.class_keys:
+        path = f"{component.name}.{key}"
+        marks.set(path, "isHardware", key in hardware_classes)
+    return marks

@@ -1,0 +1,71 @@
+"""Validation of mark sets against a model.
+
+Marks live outside the model, so nothing stops a marking file referring
+to elements that do not exist or that have been renamed.  The validator
+is what keeps sticky notes honest: every finding is a
+:class:`MarkViolation`, and ``strict=True`` raises on errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xuml.model import Model
+
+from .model import MarkError, MarkSet
+
+
+@dataclass(frozen=True)
+class MarkViolation:
+    """One problem found in a marking set."""
+
+    element_path: str
+    mark_name: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.element_path} {self.mark_name}: {self.message}"
+
+
+def validate_marks(
+    marks: MarkSet, model: Model, strict: bool = False
+) -> list[MarkViolation]:
+    """Check every mark refers to a real element with a sensible value."""
+    violations: list[MarkViolation] = []
+    known_paths = set(model.class_paths())
+    known_components = {component.name for component in model.components}
+
+    for mark in marks.marks:
+        if mark.element_path in known_paths:
+            pass
+        elif mark.element_path in known_components:
+            pass  # component-level marks are allowed (e.g. default bus)
+        else:
+            violations.append(MarkViolation(
+                mark.element_path, mark.name,
+                "element does not exist in the model",
+            ))
+            continue
+
+        if mark.name == "clock_mhz" and isinstance(mark.value, int):
+            if not 1 <= mark.value <= 10_000:
+                violations.append(MarkViolation(
+                    mark.element_path, mark.name,
+                    f"clock of {mark.value} MHz is outside 1..10000",
+                ))
+        if mark.name == "queue_depth" and isinstance(mark.value, int):
+            if mark.value < 1:
+                violations.append(MarkViolation(
+                    mark.element_path, mark.name,
+                    "queue depth must be at least 1",
+                ))
+        if mark.name == "clock_mhz" and not marks.get(mark.element_path, "isHardware"):
+            violations.append(MarkViolation(
+                mark.element_path, mark.name,
+                "clock_mhz only applies to isHardware elements",
+            ))
+
+    if strict and violations:
+        details = "; ".join(str(v) for v in violations)
+        raise MarkError(f"marking set is invalid: {details}")
+    return violations

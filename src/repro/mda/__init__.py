@@ -1,0 +1,83 @@
+"""Model mappings (paper section 4): the model compiler and its targets.
+
+* :class:`ModelCompiler` / :class:`Build` — the mapping pipeline
+* :class:`RuleSet` — marks select which mapping rule applies
+* :class:`InterfaceSpec` / :class:`InterfaceCodec` — both interface
+  halves generated from one spec, byte-compatible by construction
+* :class:`CSoftwareMachine` / :class:`VHardwareMachine` — the generated
+  architectures, executed (manifest-driven)
+* :func:`lint_c` / :func:`lint_vhdl` — structural checks on emitted text
+"""
+
+from .actionir import ir_op_counts, lower_block, walk_ir_statements
+from .archrt import ArchError, TargetMachine
+from .cgen import CGenerator
+from .clint import LintFinding, lint_c
+from .compiler import Build, ModelCompiler
+from .csim import CSoftwareMachine
+from .interfacegen import (
+    InterfaceCodec,
+    InterfaceError,
+    InterfaceSpec,
+    Message,
+    MessageField,
+    build_interface_spec,
+)
+from .manifest import (
+    ClassManifest,
+    ComponentManifest,
+    build_manifest,
+    dtype_tag,
+    tag_to_dtype,
+)
+from .naming import c_ident, c_macro, snake_case, vhdl_ident
+from .rules import (
+    HARDWARE_RULE,
+    SOFTWARE_RULE,
+    MappingRule,
+    RuleError,
+    RuleSet,
+)
+from .syscgen import SYSTEMC_RULE, SystemCGenerator
+from .vhdlgen import VhdlGenerator
+from .vlint import lint_vhdl
+from .vsim import VHardwareMachine
+
+__all__ = [
+    "ArchError",
+    "Build",
+    "CGenerator",
+    "CSoftwareMachine",
+    "ClassManifest",
+    "ComponentManifest",
+    "HARDWARE_RULE",
+    "InterfaceCodec",
+    "InterfaceError",
+    "InterfaceSpec",
+    "LintFinding",
+    "MappingRule",
+    "Message",
+    "MessageField",
+    "ModelCompiler",
+    "RuleError",
+    "RuleSet",
+    "SOFTWARE_RULE",
+    "SYSTEMC_RULE",
+    "SystemCGenerator",
+    "TargetMachine",
+    "VHardwareMachine",
+    "VhdlGenerator",
+    "build_interface_spec",
+    "build_manifest",
+    "c_ident",
+    "c_macro",
+    "dtype_tag",
+    "ir_op_counts",
+    "lint_c",
+    "lint_vhdl",
+    "lower_block",
+    "snake_case",
+    "tag_to_dtype",
+    "vhdl_ident",
+    "walk_ir_statements",
+]

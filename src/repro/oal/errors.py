@@ -1,0 +1,31 @@
+"""OAL error types."""
+
+from __future__ import annotations
+
+
+class OALError(Exception):
+    """Base class for action-language errors."""
+
+
+class OALSyntaxError(OALError):
+    """Lexical or syntactic error, with source position."""
+
+    def __init__(self, message: str, line: int, column: int):
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} (line {line}, column {column})")
+
+
+class AnalysisError(OALError):
+    """Static-semantic error: unknown name, bad type, wrong arity, ..."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class OALRuntimeError(OALError):
+    """Dynamic-semantic error during interpretation."""

@@ -1,0 +1,52 @@
+"""Token definitions for the Object Action Language (OAL).
+
+The language implemented here is the executable core the paper's profile
+relies on (the Action Semantics): assignment, instance creation/deletion,
+selection (extent and relationship navigation), relate/unrelate, signal
+generation (immediate and delayed), control flow, bridge and operation
+calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    NAME = "name"
+    INTEGER = "integer"
+    REAL = "real"
+    STRING = "string"
+    OP = "op"           # + - * / % == != < <= > >= = -> :: : . , ; ( ) [ ]
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "create", "object", "instance", "instances", "of", "delete",
+    "select", "any", "many", "one", "from", "related", "by", "where",
+    "relate", "to", "unrelate", "across", "generate", "delay",
+    "if", "elif", "else", "end", "while", "for", "each", "in",
+    "break", "continue", "return",
+    "and", "or", "not", "true", "false",
+    "self", "selected", "param", "rcvd_evt",
+    "cardinality", "empty", "not_empty",
+})
+
+#: Multi-character operators, longest first so the lexer is greedy.
+MULTI_OPS = ("->", "::", "==", "!=", "<=", ">=")
+SINGLE_OPS = "+-*/%<>=.,;:()[]"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<end of activity>"
+        return repr(self.text)

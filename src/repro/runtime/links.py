@@ -1,0 +1,172 @@
+"""Association link storage and navigation.
+
+Links are stored per association as unordered pairs of (end, handle)
+tuples.  Multiplicity upper bounds are enforced at ``relate`` time —
+violating a declared ``1`` or ``0..1`` end raises immediately, which is
+the runtime analogue of the referential integrity the generated code
+guarantees by construction.  Lower bounds (a mandatory ``1``) cannot be
+checked per-action (links are created one at a time), so they are checked
+on demand by :meth:`LinkStore.integrity_violations`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.xuml.association import Association
+from repro.xuml.component import Component
+
+from .errors import MultiplicityError, SimulationError
+
+
+class LinkStore:
+    """All links of one component's associations."""
+
+    def __init__(self, component: Component):
+        self._component = component
+        # assoc number -> end phrase -> handle -> set of opposite handles
+        self._links: dict[str, dict[str, dict[int, set[int]]]] = {}
+        for association in component.associations:
+            self._links[association.number] = {
+                association.one.phrase: defaultdict(set),
+                association.other.phrase: defaultdict(set),
+            }
+
+    # -- mutation ---------------------------------------------------------------
+
+    def relate(
+        self,
+        association: Association,
+        left_handle: int,
+        left_class: str,
+        right_handle: int,
+        right_class: str,
+        phrase: str | None = None,
+    ) -> None:
+        """Create a link; raises :class:`MultiplicityError` on overflow.
+
+        For a reflexive association *phrase* names the end that *right*
+        plays relative to *left* (matching OAL ``relate a to b across
+        R1.'phrase'``).
+        """
+        left_end, right_end = self._resolve_ends(
+            association, left_class, right_class, phrase
+        )
+        forward = self._links[association.number][right_end.phrase]
+        backward = self._links[association.number][left_end.phrase]
+        if right_handle in forward[left_handle]:
+            return  # already related; relate is idempotent
+        if not right_end.mult.is_many and forward[left_handle]:
+            raise MultiplicityError(
+                f"{association.number}: {left_class}#{left_handle} already linked "
+                f"to a {right_end.class_key} ({right_end.mult} end)"
+            )
+        if not left_end.mult.is_many and backward[right_handle]:
+            raise MultiplicityError(
+                f"{association.number}: {right_class}#{right_handle} already "
+                f"linked to a {left_end.class_key} ({left_end.mult} end)"
+            )
+        forward[left_handle].add(right_handle)
+        backward[right_handle].add(left_handle)
+
+    def unrelate(
+        self,
+        association: Association,
+        left_handle: int,
+        left_class: str,
+        right_handle: int,
+        right_class: str,
+        phrase: str | None = None,
+    ) -> None:
+        left_end, right_end = self._resolve_ends(
+            association, left_class, right_class, phrase
+        )
+        forward = self._links[association.number][right_end.phrase]
+        backward = self._links[association.number][left_end.phrase]
+        if right_handle not in forward[left_handle]:
+            raise SimulationError(
+                f"{association.number}: {left_class}#{left_handle} and "
+                f"{right_class}#{right_handle} are not related"
+            )
+        forward[left_handle].discard(right_handle)
+        backward[right_handle].discard(left_handle)
+
+    def drop_instance(self, handle: int) -> None:
+        """Remove every link touching *handle* (on instance deletion)."""
+        for by_phrase in self._links.values():
+            phrases = list(by_phrase)
+            for phrase in phrases:
+                table = by_phrase[phrase]
+                table.pop(handle, None)
+            for phrase in phrases:
+                for peers in by_phrase[phrase].values():
+                    peers.discard(handle)
+
+    # -- navigation --------------------------------------------------------------
+
+    def navigate(
+        self,
+        association: Association,
+        from_handle: int,
+        from_class: str,
+        to_class: str,
+        phrase: str | None = None,
+    ) -> tuple[int, ...]:
+        """Handles of *to_class* instances linked to *from_handle*.
+
+        Results are sorted for determinism.
+        """
+        to_end = association.end_for(to_class, phrase)
+        if association.is_reflexive and phrase is None:
+            raise SimulationError(
+                f"{association.number} is reflexive; navigation needs a phrase"
+            )
+        table = self._links[association.number][to_end.phrase]
+        return tuple(sorted(table.get(from_handle, ())))
+
+    def count(self, association_number: str) -> int:
+        """Total number of links of one association."""
+        by_phrase = self._links[association_number]
+        total = sum(
+            len(peers) for table in by_phrase.values() for peers in table.values()
+        )
+        return total // 2
+
+    def integrity_violations(self, populations) -> list[str]:
+        """Check unconditional (lower-bound 1) ends across the population.
+
+        *populations* maps class key letters to iterables of live handles.
+        Returns human-readable violation strings; empty means consistent.
+        """
+        violations: list[str] = []
+        for association in self._component.associations:
+            for end, other in (
+                (association.one, association.other),
+                (association.other, association.one),
+            ):
+                if end.mult.lower == 0:
+                    continue
+                # every instance of `other.class_key` must see >=1 `end` partner
+                table = self._links[association.number][end.phrase]
+                for handle in populations.get(other.class_key, ()):
+                    if not table.get(handle):
+                        violations.append(
+                            f"{association.number}: {other.class_key}#{handle} "
+                            f"has no {end.class_key} partner "
+                            f"(end requires {end.mult})"
+                        )
+        return violations
+
+    def _resolve_ends(self, association, left_class, right_class, phrase):
+        """(left_end, right_end) where right_end is the role right plays."""
+        if association.is_reflexive:
+            if phrase is None:
+                raise SimulationError(
+                    f"{association.number} is reflexive; relate needs a phrase"
+                )
+            right_end = association.end_for(right_class, phrase)
+            left_end = association.opposite(right_end)
+        else:
+            right_end = association.end_for(right_class)
+            left_end = association.end_for(left_class)
+        return left_end, right_end

@@ -1,0 +1,132 @@
+"""Dispatch schedulers.
+
+The profile deliberately leaves the *global* dispatch order open: any
+order is legal as long as per-instance rules hold (run-to-completion,
+self-events first, per-receiver FIFO).  That freedom is what lets one
+specification map onto "concurrent, distributed platforms ... as well as
+fully synchronous, single tasking environments" (paper section 2).
+
+Each scheduler here is one legal refinement of that freedom:
+
+* :class:`SynchronousScheduler` — global FIFO by send order; the single-
+  tasking software architecture.
+* :class:`RoundRobinScheduler` — fair rotation over busy instances; a
+  cooperative multitasking architecture.
+* :class:`InterleavedScheduler` — seeded random choice; an adversarial
+  stand-in for true concurrency, used by the property tests to show
+  behaviour is interleaving-independent.
+* :class:`PriorityScheduler` — higher-priority classes first; a
+  preemptive-kernel architecture.
+
+A scheduler only picks *which* ready source dispatches next; it can never
+reorder one instance's own queue.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .events import EventPool
+
+#: Sentinel source meaning "dispatch the oldest pending creation event".
+CREATION = -1
+
+
+class Scheduler:
+    """Base: choose the next dispatch source from a pool."""
+
+    name = "base"
+
+    def choose(self, pool: EventPool) -> int | None:
+        """Return an instance handle, CREATION, or None when idle."""
+        raise NotImplementedError
+
+    def _sources(self, pool: EventPool) -> list[int]:
+        sources = list(pool.ready_handles())
+        if pool.has_ready_creation():
+            sources.append(CREATION)
+        return sources
+
+    def _head_sequence(self, pool: EventPool, source: int) -> int:
+        if source == CREATION:
+            return pool._creations[0].sequence
+        return pool.peek_for(source).sequence
+
+
+class SynchronousScheduler(Scheduler):
+    """Strict global send order — one task, one queue."""
+
+    name = "synchronous"
+
+    def choose(self, pool: EventPool) -> int | None:
+        sources = self._sources(pool)
+        if not sources:
+            return None
+        return min(sources, key=lambda s: self._head_sequence(pool, s))
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotate over sources with pending work."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._last: int | None = None
+
+    def choose(self, pool: EventPool) -> int | None:
+        sources = sorted(self._sources(pool))
+        if not sources:
+            return None
+        if self._last is None:
+            choice = sources[0]
+        else:
+            later = [s for s in sources if s > self._last]
+            choice = later[0] if later else sources[0]
+        self._last = choice
+        return choice
+
+
+class InterleavedScheduler(Scheduler):
+    """Seeded-random choice over ready sources — adversarial concurrency."""
+
+    name = "interleaved"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, pool: EventPool) -> int | None:
+        sources = self._sources(pool)
+        if not sources:
+            return None
+        return self._rng.choice(sorted(sources))
+
+
+class PriorityScheduler(Scheduler):
+    """Dispatch sources of higher-priority classes first.
+
+    ``priorities`` maps class key letters to an integer priority (higher
+    runs first); unlisted classes default to 0.  Ties break on global
+    send order so the schedule is total and deterministic.
+    """
+
+    name = "priority"
+
+    def __init__(self, priorities: dict[str, int], class_of_handle):
+        self._priorities = dict(priorities)
+        self._class_of_handle = class_of_handle
+
+    def _priority_of(self, pool: EventPool, source: int) -> int:
+        if source == CREATION:
+            class_key = pool._creations[0].class_key
+        else:
+            class_key = self._class_of_handle(source)
+        return self._priorities.get(class_key, 0)
+
+    def choose(self, pool: EventPool) -> int | None:
+        sources = self._sources(pool)
+        if not sources:
+            return None
+        return min(
+            sources,
+            key=lambda s: (-self._priority_of(pool, s), self._head_sequence(pool, s)),
+        )

@@ -1,0 +1,319 @@
+"""Formal test suites for the catalog models.
+
+Each suite expresses the model's *requirements* (cook for N seconds,
+serve every hall call, checksum correctly, ...) as platform-independent
+test cases — the artifacts paper section 2 says exist before any design
+detail is added.  E3 runs every suite on every platform.
+"""
+
+from __future__ import annotations
+
+from repro.models.checksum import fletcher_reference
+
+from .testcase import TestCase
+
+
+def microwave_suite() -> list[TestCase]:
+    full_cook = (
+        TestCase("cook-runs-to-complete")
+        .create("oven", "MO", oven_id=1)
+        .create("tube", "PT", tube_id=1)
+        .relate("oven", "tube", "R1")
+        .inject("oven", "MO1", {"seconds": 3})
+        .run()
+        .expect_state("oven", "Complete")
+        .expect_state("tube", "Off")
+        .expect_attr("oven", "remaining_seconds", 0)
+        .expect_attr("oven", "cycles_run", 1)
+        .expect_attr("oven", "light_on", False)
+        .expect_attr("tube", "energize_count", 1)
+    )
+    door_pause = (
+        TestCase("door-open-pauses-cooking")
+        .create("oven", "MO", oven_id=1)
+        .create("tube", "PT", tube_id=1)
+        .relate("oven", "tube", "R1")
+        .inject("oven", "MO1", {"seconds": 10})
+        .advance(2_500_000)            # 2.5 s into a 10 s cook
+        .inject("oven", "MO2")         # open the door
+        .run()
+        .expect_state("oven", "Paused")
+        .expect_state("tube", "Off")
+        .inject("oven", "MO3")         # close it again
+        .run()
+        .expect_state("oven", "Complete")
+    )
+    reuse = (
+        TestCase("second-cook-from-complete")
+        .create("oven", "MO", oven_id=1)
+        .inject("oven", "MO1", {"seconds": 1})
+        .run()
+        .expect_state("oven", "Complete")
+        .inject("oven", "MO1", {"seconds": 2})
+        .run()
+        .expect_attr("oven", "cycles_run", 2)
+        .expect_state("oven", "Complete")
+    )
+    idle_ignores = (
+        TestCase("idle-ignores-door-traffic")
+        .create("oven", "MO", oven_id=1)
+        .inject("oven", "MO2")
+        .inject("oven", "MO3")
+        .run()
+        .expect_state("oven", "Idle")
+        .expect_attr("oven", "cycles_run", 0)
+    )
+    zero_seconds = (
+        TestCase("zero-second-cook-completes-immediately")
+        .create("oven", "MO", oven_id=1)
+        .inject("oven", "MO1", {"seconds": 0})
+        .run()
+        .expect_state("oven", "Complete")
+        .expect_attr("oven", "remaining_seconds", 0)
+    )
+    complete_then_open = (
+        TestCase("door-open-from-complete-resets")
+        .create("oven", "MO", oven_id=1)
+        .inject("oven", "MO1", {"seconds": 1})
+        .run()
+        .inject("oven", "MO2")
+        .run()
+        .expect_state("oven", "Idle")
+        .expect_attr("oven", "light_on", False)
+    )
+    return [full_cook, door_pause, reuse, idle_ignores, zero_seconds,
+            complete_then_open]
+
+
+def trafficlight_suite() -> list[TestCase]:
+    phases = (
+        TestCase("phases-cycle")
+        .create("tc", "TC", controller_id=1)
+        .inject("tc", "T1")              # leave Off
+        .advance(36_000_000)             # 30 s green + 5 s yellow + 1
+        .expect_state("tc", "AllRedToEW")
+        .advance(38_000_000)
+        .expect_state("tc", "EWGreen")
+    )
+    ped_cut = (
+        TestCase("pedestrian-cuts-green")
+        .create("tc", "TC", controller_id=1)
+        .create("pb", "PB", button_id=1)
+        .relate("pb", "tc", "R1")
+        .inject("tc", "T1")
+        .inject("pb", "PB1", delay_us=10_000_000)   # mid NS green
+        .advance(10_500_000)                        # cut green: 1 s left
+        .expect_state("tc", "NSGreenCut")
+        .expect_attr("tc", "ped_services", 1)
+        .advance(12_000_000)                        # 11 s: yellow began
+        .expect_state("tc", "NSYellow")
+        .advance(17_000_000)                        # 16-18 s: all-red
+        .expect_state("tc", "AllRedToEW")
+        .advance(40_000_000)                        # no stale tick: EW
+        .expect_state("tc", "EWGreen")              # green holds its 30 s
+    )
+    debounce = (
+        TestCase("button-debounces")
+        .create("tc", "TC", controller_id=1)
+        .create("pb", "PB", button_id=1)
+        .relate("pb", "tc", "R1")
+        .inject("tc", "T1")
+        .inject("pb", "PB1", delay_us=5_000_000)
+        .inject("pb", "PB1", delay_us=5_000_100)   # bounce inside refractory
+        .inject("pb", "PB1", delay_us=5_000_200)
+        .advance(8_000_000)
+        .expect_attr("pb", "requests_sent", 1)
+    )
+    two_cycles = (
+        TestCase("two-full-cycles")
+        .create("tc", "TC", controller_id=1)
+        .inject("tc", "T1")
+        .advance(148_500_000)     # 2 × 74 s + slack for clocked targets
+        .expect_attr("tc", "cycles", 3)   # entering the third NS green
+        .expect_state("tc", "NSGreen")
+    )
+    return [phases, ped_cut, debounce, two_cycles]
+
+
+def packetproc_suite() -> list[TestCase]:
+    def pipeline_base(case: TestCase) -> TestCase:
+        return (
+            case
+            .create("mac", "M", mac_id=1)
+            .create("cl", "CL", cl_id=1)
+            .create("ce", "CE", ce_id=1)
+            .create("dma", "D", dma_id=1)
+            .create("st", "ST", st_id=1)
+            .relate("mac", "cl", "R1")
+            .relate("cl", "ce", "R2")
+            .relate("cl", "dma", "R3")
+            .relate("ce", "dma", "R4")
+            .relate("dma", "st", "R5")
+            .create("fr0", "FR", flow_id=0)
+            .create("fr1", "FR", flow_id=1)
+            .create("fr2", "FR", flow_id=2)
+            .create("fr3", "FR", flow_id=3)
+        )
+
+    one_packet = pipeline_base(TestCase("one-clear-packet"))
+    one_packet = (
+        one_packet
+        .inject("mac", "M1", {"pkt_id": 4, "length": 128})   # flow 0: clear
+        .run()
+        .expect_attr("st", "packets", 1)
+        .expect_attr("ce", "encrypted", 0)
+        .expect_attr("dma", "transfers", 1)
+        .expect_attr("fr0", "packets", 1)
+        .expect_attr("fr0", "bytes", 128)
+    )
+    crypto_packet = pipeline_base(TestCase("one-crypto-packet"))
+    crypto_packet = (
+        crypto_packet
+        .inject("mac", "M1", {"pkt_id": 1, "length": 256})   # flow 1: crypto
+        .run()
+        .expect_attr("ce", "encrypted", 1)
+        .expect_attr("ce", "rounds_done", 17)
+        .expect_attr("st", "packets", 1)
+        .expect_attr("fr1", "packets", 1)
+    )
+    burst = pipeline_base(TestCase("burst-of-eight"))
+    for pkt in range(1, 9):
+        burst = burst.inject("mac", "M1", {"pkt_id": pkt, "length": 64})
+    burst = (
+        burst
+        .run()
+        .expect_attr("st", "packets", 8)
+        .expect_attr("ce", "encrypted", 4)
+        .expect_attr("mac", "rx_count", 8)
+        .expect_attr("mac", "rx_bytes", 512)
+    )
+    jumbo = pipeline_base(TestCase("jumbo-packet-round-count"))
+    jumbo = (
+        jumbo
+        .inject("mac", "M1", {"pkt_id": 3, "length": 1504})  # flow 3: crypto
+        .run()
+        # rounds = length/16 + 1 = 95, exercising the bounded loop
+        .expect_attr("ce", "rounds_done", 95)
+        .expect_attr("dma", "bytes_moved", 1504)
+        .expect_attr("fr3", "bytes", 1504)
+    )
+    return [one_packet, crypto_packet, burst, jumbo]
+
+
+def elevator_suite() -> list[TestCase]:
+    serve = (
+        TestCase("single-call-served")
+        .create("bank", "B", bank_id=1)
+        .create("car", "E", car_id=1)
+        .relate("bank", "car", "R1")
+        .inject("bank", "B1", {"floor": 5, "going_up": True})
+        .run()
+        .expect_state("car", "Idle")
+        .expect_attr("car", "current_floor", 5)
+        .expect_attr("car", "trips", 1)
+        .expect_count("CA", 0)
+    )
+    drop = (
+        TestCase("no-idle-car-drops-call")
+        .create("bank", "B", bank_id=1)
+        .create("car", "E", car_id=1)
+        .relate("bank", "car", "R1")
+        .inject("bank", "B1", {"floor": 9, "going_up": True})
+        .inject("bank", "B1", {"floor": 2, "going_up": False},
+                delay_us=1_000_000)     # car is still travelling
+        .run()
+        .expect_attr("bank", "calls_dropped", 1)
+        .expect_attr("car", "trips", 1)
+        .expect_count("CA", 0)
+    )
+    two_cars = (
+        TestCase("two-cars-split-work")
+        .create("bank", "B", bank_id=1)
+        .create("car1", "E", car_id=1)
+        .create("car2", "E", car_id=2)
+        .relate("bank", "car1", "R1")
+        .relate("bank", "car2", "R1")
+        .inject("bank", "B1", {"floor": 3, "going_up": True})
+        .inject("bank", "B1", {"floor": 7, "going_up": True},
+                delay_us=100_000)
+        .run()
+        .expect_attr("car1", "trips", 1)
+        .expect_attr("car2", "trips", 1)
+        .expect_count("CA", 0)
+    )
+    downward = (
+        TestCase("downward-travel")
+        .create("bank", "B", bank_id=1)
+        .create("car", "E", car_id=1, current_floor=9, destination=9)
+        .relate("bank", "car", "R1")
+        .inject("bank", "B1", {"floor": 2, "going_up": False})
+        .run()
+        .expect_attr("car", "current_floor", 2)
+        .expect_attr("car", "floors_travelled", 7)
+        .expect_count("CA", 0)
+    )
+    return [serve, drop, two_cars, downward]
+
+
+def checksum_suite() -> list[TestCase]:
+    single = (
+        TestCase("single-job-correct")
+        .create("engine", "AC", engine_id=1)
+        .creation_event("J", "J0", {"job_id": 1, "length": 100, "seed": 7})
+        .run()
+        .expect_count("J", 1)
+    )
+    # the result value is checked via attributes on the (single) job,
+    # which needs a name; create the job eagerly through a second engine
+    # stimulus pattern instead: expected value asserted by formula
+    expected = fletcher_reference(100, 7)
+    single = single  # count-checked above; value checked below per-job
+    value = (
+        TestCase("job-value-matches-reference")
+        .create("engine", "AC", engine_id=1)
+        .creation_event("J", "J0", {"job_id": 9, "length": 100, "seed": 7})
+        .run()
+    )
+    # jobs are created by the platform; bind by select-like expectation:
+    # the only J instance is handle-independent, so expect via count and
+    # engine bookkeeping, then check the attribute through a named probe
+    value = (
+        value
+        .expect_count("J", 1)
+        .expect_attr_on_only("J", "result", expected)
+        .expect_attr_on_only("J", "done", True)
+    )
+    two_jobs = (
+        TestCase("two-jobs-serialized")
+        .create("engine", "AC", engine_id=1)
+        .creation_event("J", "J0", {"job_id": 1, "length": 10, "seed": 0})
+        .creation_event("J", "J0", {"job_id": 2, "length": 20, "seed": 0})
+        .run()
+        .expect_count("J", 2)
+        .expect_attr("engine", "jobs_done", 2)
+    )
+    empty_job = (
+        TestCase("zero-length-job")
+        .create("engine", "AC", engine_id=1)
+        .creation_event("J", "J0", {"job_id": 1, "length": 0, "seed": 100})
+        .run()
+        .expect_attr_on_only("J", "result", fletcher_reference(0, 100))
+        .expect_attr_on_only("J", "done", True)
+    )
+    return [single, value, two_jobs, empty_job]
+
+
+SUITES = {
+    "microwave": microwave_suite,
+    "trafficlight": trafficlight_suite,
+    "packetproc": packetproc_suite,
+    "elevator": elevator_suite,
+    "checksum": checksum_suite,
+}
+
+
+def suite_for(model_name: str) -> list[TestCase]:
+    try:
+        return SUITES[model_name]()
+    except KeyError:
+        raise KeyError(f"no suite for model {model_name!r}") from None

@@ -1,0 +1,124 @@
+"""Execution targets — one protocol over every platform.
+
+A :class:`Target` adapts one execution platform (the abstract model
+runtime, the generated-C architecture, the generated-VHDL architecture)
+to the uniform surface the test runner drives.  The point of the
+adapter being thin is the point of the whole profile: the platforms
+already agree on population, signals and time because the compiler
+preserved the defined behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.marks.model import MarkSet
+from repro.marks.partition import marks_for_partition
+from repro.mda.compiler import Build, ModelCompiler
+from repro.mda.csim import CSoftwareMachine
+from repro.mda.vsim import VHardwareMachine
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.simulator import Simulation
+from repro.xuml.model import Model
+
+
+class Target:
+    """Uniform driving surface over one platform instance."""
+
+    name = "target"
+
+    def __init__(self, engine):
+        self._engine = engine
+
+    # population
+    def create_instance(self, class_key: str, **attributes) -> int:
+        return self._engine.create_instance(class_key, **attributes)
+
+    def relate(self, left: int, right: int, association: str, phrase=None):
+        return self._engine.relate(left, right, association, phrase)
+
+    def instances_of(self, class_key: str):
+        return self._engine.instances_of(class_key)
+
+    # stimulus
+    def inject(self, handle: int, label: str, params=None, delay_us: int = 0):
+        return self._engine.inject(handle, label, params, delay=delay_us)
+
+    def send_creation(self, class_key: str, label: str, params=None):
+        return self._engine.send_creation(class_key, label, params)
+
+    # execution
+    def run_to_quiescence(self, max_steps: int = 1_000_000):
+        return self._engine.run_to_quiescence(max_steps)
+
+    def run_until(self, time_us: int):
+        return self._engine.run_until(time_us)
+
+    # observation
+    def state_of(self, handle: int):
+        return self._engine.state_of(handle)
+
+    def read_attribute(self, handle: int, name: str):
+        return self._engine.read_attribute(handle, name)
+
+    @property
+    def trace(self):
+        return self._engine.trace
+
+    @property
+    def engine(self):
+        return self._engine
+
+
+class AbstractTarget(Target):
+    """The model itself, executed by :class:`repro.runtime.Simulation`."""
+
+    name = "abstract-model"
+
+    def __init__(self, model: Model, scheduler: Scheduler | None = None):
+        super().__init__(Simulation(model, scheduler=scheduler))
+        if scheduler is not None:
+            self.name = f"abstract-model/{scheduler.name}"
+
+
+class CSimTarget(Target):
+    """The generated C, executed by the single-task kernel semantics."""
+
+    name = "generated-c"
+
+    def __init__(self, build: Build):
+        super().__init__(CSoftwareMachine(build.manifest))
+
+
+class VSimTarget(Target):
+    """The generated VHDL, executed by the clocked FSM semantics."""
+
+    name = "generated-vhdl"
+
+    def __init__(self, build: Build, clock_mhz: int = 100):
+        super().__init__(VHardwareMachine(build.manifest, clock_mhz))
+
+    def run_until(self, time_us: int):
+        return self._engine.run_until(time_us)
+
+
+def standard_targets(model: Model, marks: MarkSet | None = None
+                     ) -> list[Target]:
+    """The three platforms every model is verified on (E3).
+
+    The C target compiles the model all-software, the VHDL target
+    all-hardware — each architecture then executes *every* class, which
+    is the strongest conformance statement a single target can make.
+    """
+    component = model.components[0]
+    if marks is None:
+        sw_marks = marks_for_partition(component, ())
+        hw_marks = marks_for_partition(
+            component, tuple(component.class_keys))
+    else:
+        sw_marks = hw_marks = marks
+    sw_build = ModelCompiler(model).compile(sw_marks)
+    hw_build = ModelCompiler(model).compile(hw_marks)
+    return [
+        AbstractTarget(model),
+        CSimTarget(sw_build),
+        VSimTarget(hw_build),
+    ]

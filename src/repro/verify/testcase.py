@@ -1,0 +1,205 @@
+"""Model-level test cases.
+
+Paper section 2: "formal test cases can be executed against the model to
+verify that requirements have been properly met" — before any design
+detail exists.  A :class:`TestCase` is such a formal test: a setup
+population, a stimulus script, and assertions over states, attributes
+and instance counts.  The same test case object runs unchanged against
+the abstract model, the generated-C architecture and the generated-VHDL
+architecture (see :mod:`repro.verify.conformance`) — which is the
+"execute the model independent of implementation" claim, made checkable.
+
+Steps are plain dataclasses so cases are declarative and printable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CreateStep:
+    """Create an instance and bind it to a case-local name."""
+
+    name: str
+    class_key: str
+    attributes: dict = field(default_factory=dict, hash=False)
+
+
+@dataclass(frozen=True)
+class RelateStep:
+    """Relate two named instances."""
+
+    left: str
+    right: str
+    association: str
+    phrase: str | None = None
+
+
+@dataclass(frozen=True)
+class InjectStep:
+    """Send a signal from the environment to a named instance."""
+
+    name: str
+    label: str
+    params: dict = field(default_factory=dict, hash=False)
+    delay_us: int = 0
+
+
+@dataclass(frozen=True)
+class CreationEventStep:
+    """Send a creation event (the instance is born on dispatch)."""
+
+    class_key: str
+    label: str
+    params: dict = field(default_factory=dict, hash=False)
+
+
+@dataclass(frozen=True)
+class RunStep:
+    """Run the target to quiescence (bounded)."""
+
+    max_steps: int = 1_000_000
+
+
+@dataclass(frozen=True)
+class AdvanceStep:
+    """Advance simulated time to an absolute microsecond mark."""
+
+    time_us: int
+
+
+@dataclass(frozen=True)
+class ExpectState:
+    """Assert a named instance's current state."""
+
+    name: str
+    state: str
+
+
+@dataclass(frozen=True)
+class ExpectAttr:
+    """Assert a named instance's attribute value."""
+
+    name: str
+    attribute: str
+    value: object
+
+
+@dataclass(frozen=True)
+class ExpectCount:
+    """Assert the live population size of a class."""
+
+    class_key: str
+    count: int
+
+
+@dataclass(frozen=True)
+class ExpectAttrOnOnly:
+    """Assert an attribute on the *sole* live instance of a class.
+
+    Useful for instances born by creation events, which have no
+    case-local name.
+    """
+
+    class_key: str
+    attribute: str
+    value: object
+
+
+Step = (CreateStep | RelateStep | InjectStep | CreationEventStep | RunStep
+        | AdvanceStep | ExpectState | ExpectAttr | ExpectCount
+        | ExpectAttrOnOnly)
+
+
+@dataclass
+class TestCase:
+    """One formal, platform-independent test."""
+
+    #: not a pytest class, despite the (domain-accurate) name
+    __test__ = False
+
+    name: str
+    steps: list = field(default_factory=list)
+
+    # -- fluent construction ------------------------------------------------
+
+    def create(self, name: str, class_key: str, **attributes) -> "TestCase":
+        self.steps.append(CreateStep(name, class_key, attributes))
+        return self
+
+    def relate(self, left: str, right: str, association: str,
+               phrase: str | None = None) -> "TestCase":
+        self.steps.append(RelateStep(left, right, association, phrase))
+        return self
+
+    def inject(self, name: str, label: str, params: dict | None = None,
+               delay_us: int = 0) -> "TestCase":
+        self.steps.append(InjectStep(name, label, params or {}, delay_us))
+        return self
+
+    def creation_event(self, class_key: str, label: str,
+                       params: dict | None = None) -> "TestCase":
+        self.steps.append(CreationEventStep(class_key, label, params or {}))
+        return self
+
+    def run(self, max_steps: int = 1_000_000) -> "TestCase":
+        self.steps.append(RunStep(max_steps))
+        return self
+
+    def advance(self, time_us: int) -> "TestCase":
+        self.steps.append(AdvanceStep(time_us))
+        return self
+
+    def expect_state(self, name: str, state: str) -> "TestCase":
+        self.steps.append(ExpectState(name, state))
+        return self
+
+    def expect_attr(self, name: str, attribute: str, value) -> "TestCase":
+        self.steps.append(ExpectAttr(name, attribute, value))
+        return self
+
+    def expect_count(self, class_key: str, count: int) -> "TestCase":
+        self.steps.append(ExpectCount(class_key, count))
+        return self
+
+    def expect_attr_on_only(self, class_key: str, attribute: str,
+                            value) -> "TestCase":
+        self.steps.append(ExpectAttrOnOnly(class_key, attribute, value))
+        return self
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One assertion that did not hold."""
+
+    step_index: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"step {self.step_index}: {self.message}"
+
+
+@dataclass
+class TestResult:
+    """Outcome of one test case on one execution target."""
+
+    __test__ = False
+
+    case_name: str
+    target_name: str
+    failures: list[Failure] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures and self.error is None
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        extra = ""
+        if self.error:
+            extra = f" (error: {self.error})"
+        elif self.failures:
+            extra = f" ({len(self.failures)} failed assertions)"
+        return f"[{status}] {self.case_name} on {self.target_name}{extra}"

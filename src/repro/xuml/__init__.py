@@ -1,0 +1,95 @@
+"""Executable UML metamodel — the paper's "carefully selected streamlined subset".
+
+Public surface:
+
+* :class:`Model`, :class:`Component`, :class:`ModelClass` — structural model
+* :class:`StateMachine`, :class:`State`, :class:`Transition` — behaviour
+* :class:`EventSpec` — signals, the only inter-machine communication
+* :class:`Association` — numbered relationships with multiplicity
+* :class:`ExternalEntity` — bridges to the outside world
+* :class:`ModelBuilder` — the fluent construction API
+* :func:`check_model` — well-formedness verification
+"""
+
+from .association import Association, AssociationEnd, Multiplicity
+from .attribute import Attribute, Identifier
+from .builder import ModelBuilder, parse_multiplicity
+from .component import Component
+from .datatypes import (
+    CoreType,
+    EnumType,
+    InstRefType,
+    InstSetType,
+    TypeRegistry,
+    bit_width,
+    default_value,
+)
+from .errors import (
+    DefinitionError,
+    DuplicateElementError,
+    ModelError,
+    UnknownElementError,
+    WellFormednessError,
+)
+from .event import EventParameter, EventSpec
+from .external import BridgeSpec, ExternalEntity
+from .klass import ModelClass, Operation
+from .model import Model
+from .statemachine import (
+    CreationTransition,
+    EventResponse,
+    State,
+    StateMachine,
+    Transition,
+)
+from .serialize import (
+    SerializationError,
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+    model_to_json,
+)
+from .wellformed import Severity, Violation, check_model
+
+__all__ = [
+    "Association",
+    "AssociationEnd",
+    "Attribute",
+    "BridgeSpec",
+    "Component",
+    "CoreType",
+    "CreationTransition",
+    "DefinitionError",
+    "DuplicateElementError",
+    "EnumType",
+    "EventParameter",
+    "EventResponse",
+    "EventSpec",
+    "ExternalEntity",
+    "Identifier",
+    "InstRefType",
+    "InstSetType",
+    "Model",
+    "ModelBuilder",
+    "ModelClass",
+    "ModelError",
+    "Multiplicity",
+    "Operation",
+    "SerializationError",
+    "Severity",
+    "State",
+    "StateMachine",
+    "Transition",
+    "TypeRegistry",
+    "UnknownElementError",
+    "Violation",
+    "WellFormednessError",
+    "bit_width",
+    "check_model",
+    "default_value",
+    "model_from_dict",
+    "model_from_json",
+    "model_to_dict",
+    "model_to_json",
+    "parse_multiplicity",
+]

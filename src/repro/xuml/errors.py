@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Executable UML metamodel.
+
+All metamodel-layer failures derive from :class:`ModelError` so callers can
+catch one type at the model boundary.  Construction-time failures (duplicate
+key letters, dangling references) raise eagerly; whole-model consistency is
+checked by :mod:`repro.xuml.wellformed`, which *collects* violations instead
+of raising, because a modeling tool must report every problem at once.
+"""
+
+from __future__ import annotations
+
+
+class ModelError(Exception):
+    """Base class for all metamodel errors."""
+
+
+class DuplicateElementError(ModelError):
+    """An element with the same name/key was already defined in this scope."""
+
+
+class UnknownElementError(ModelError):
+    """A lookup referenced an element that does not exist."""
+
+
+class DefinitionError(ModelError):
+    """An element definition is internally inconsistent."""
+
+
+class WellFormednessError(ModelError):
+    """Raised by ``check(strict=True)`` when a model has violations."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = "\n".join(f"  - {v}" for v in self.violations)
+        super().__init__(f"model is not well-formed:\n{lines}")

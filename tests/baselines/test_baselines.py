@@ -1,0 +1,158 @@
+"""Tests of the baseline workflows (drift, edit cost, UML surface)."""
+
+import pytest
+
+from repro.baselines import (
+    UML15_METACLASSES,
+    XTUML_SUBSET,
+    compare_layouts,
+    generate_churn,
+    initial_layout,
+    metaclasses_used_by,
+    price_all_single_moves,
+    price_repartition,
+    run_generated_flow,
+    run_parallel_teams,
+    surface_summary,
+    surface_table,
+    uml15_total,
+)
+from repro.baselines.drift import ChurnEvent, apply_churn, copy_layout
+from repro.marks import marks_for_partition
+from repro.mda import ModelCompiler
+from repro.models import all_models, build_packetproc_model
+
+
+@pytest.fixture(scope="module")
+def spec():
+    model = build_packetproc_model()
+    component = model.components[0]
+    build = ModelCompiler(model).compile(
+        marks_for_partition(component, ("CE", "D")))
+    return build.interface
+
+
+class TestChurn:
+    def test_churn_reproducible(self, spec):
+        layout = initial_layout(spec)
+        assert generate_churn(layout, 20, seed=5) == generate_churn(
+            layout, 20, seed=5)
+        assert generate_churn(layout, 20, seed=5) != generate_churn(
+            layout, 20, seed=6)
+
+    def test_apply_add_and_remove(self, spec):
+        layout = initial_layout(spec)
+        message = sorted(layout)[0]
+        apply_churn(layout, ChurnEvent("add_field", message, "extra", 16))
+        assert ("extra", 16) in layout[message][1]
+        apply_churn(layout, ChurnEvent("remove_field", message, "extra"))
+        assert all(n != "extra" for n, _w in layout[message][1])
+
+    def test_apply_resize_and_renumber(self, spec):
+        layout = initial_layout(spec)
+        message = sorted(layout)[0]
+        first_field = layout[message][1][0][0]
+        apply_churn(layout, ChurnEvent("resize_field", message,
+                                       first_field, 64))
+        assert dict(layout[message][1])[first_field] == 64
+        apply_churn(layout, ChurnEvent("renumber", message, new_id=42))
+        assert layout[message][0] == 42
+
+    def test_compare_identical_layouts_clean(self, spec):
+        layout = initial_layout(spec)
+        assert compare_layouts(layout, copy_layout(layout)) == []
+
+    def test_compare_detects_each_defect_kind(self, spec):
+        ours = initial_layout(spec)
+        theirs = copy_layout(ours)
+        message = sorted(ours)[0]
+        apply_churn(theirs, ChurnEvent("add_field", message, "sneaky", 8))
+        apply_churn(theirs, ChurnEvent("renumber", message, new_id=63))
+        defects = compare_layouts(ours, theirs)
+        kinds = {d.kind for d in defects}
+        assert "missing_field" in kinds
+        assert "id_mismatch" in kinds
+
+
+class TestWorkflows:
+    def test_zero_miss_probability_yields_no_defects(self, spec):
+        outcome = run_parallel_teams(spec, 30, miss_probability=0.0, seed=1)
+        assert outcome.defect_count == 0
+
+    def test_full_miss_probability_maximal_drift(self, spec):
+        drifted = run_parallel_teams(spec, 30, miss_probability=1.0, seed=1)
+        assert drifted.applied_sw == 0
+        assert drifted.applied_hw == 0
+        assert drifted.defect_count == 0    # both equally stale -> agree!
+
+    def test_partial_miss_probability_causes_defects(self, spec):
+        outcomes = [
+            run_parallel_teams(spec, 40, miss_probability=0.3, seed=seed)
+            for seed in range(8)
+        ]
+        assert sum(o.defect_count for o in outcomes) > 0
+
+    def test_generated_flow_never_drifts(self, spec):
+        for churn in (1, 10, 50):
+            assert run_generated_flow(spec, churn).defect_count == 0
+
+    def test_bad_probability_rejected(self, spec):
+        with pytest.raises(ValueError):
+            run_parallel_teams(spec, 1, miss_probability=1.5)
+
+
+class TestEditCost:
+    def test_single_move_costs(self):
+        model = build_packetproc_model()
+        costs = price_all_single_moves(model)
+        assert len(costs) == 6     # one per class
+        for cost in costs:
+            assert cost.mark_flips == 1
+            assert cost.impl_first_total > cost.mark_flips
+
+    def test_reverse_move_costs_same_flips(self):
+        model = build_packetproc_model()
+        there = price_repartition(model, (), ("CE",))
+        back = price_repartition(model, ("CE",), ())
+        assert there.mark_flips == back.mark_flips == 1
+
+    def test_noop_move_is_free(self):
+        model = build_packetproc_model()
+        cost = price_repartition(model, ("CE",), ("CE",))
+        assert cost.mark_flips == 0
+        assert cost.moved_classes == ()
+        assert cost.reduction_factor == 1.0
+
+    def test_multi_class_move_scales_linearly_in_flips(self):
+        model = build_packetproc_model()
+        cost = price_repartition(model, (), ("CE", "CL", "D"))
+        assert cost.mark_flips == 3
+
+
+class TestUmlSurface:
+    def test_inventory_is_plausible(self):
+        assert 90 < uml15_total() < 200
+        assert XTUML_SUBSET <= {
+            name for names in UML15_METACLASSES.values() for name in names}
+
+    def test_used_metaclasses_subset_of_profile(self):
+        for model in all_models().values():
+            used = metaclasses_used_by(model)
+            assert used <= XTUML_SUBSET
+
+    def test_checksum_model_uses_creation_metaclasses(self):
+        from repro.models import build_checksum_model
+        used = metaclasses_used_by(build_checksum_model())
+        assert "Operation" in used
+        assert "Signal" in used
+
+    def test_table_rows_consistent(self):
+        models = all_models()
+        rows = surface_table(models)
+        for row in rows:
+            assert 0 <= row.used_by_models <= row.in_profile <= row.total
+
+    def test_summary_shares(self):
+        summary = surface_summary(all_models())
+        assert 0 < summary["profile_share_of_uml15"] < 1
+        assert summary["profile_metaclasses"] >= summary["used_metaclasses"]

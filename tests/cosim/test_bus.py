@@ -1,0 +1,105 @@
+"""Unit tests for the shared bus and its arbitration policies."""
+
+import pytest
+
+from repro.cosim import Bus, BusRequest, CoSimConfig
+
+
+def request(ready, seq, msg_id=1, size=16, side="sw", sink=None):
+    delivered = sink if sink is not None else []
+    return BusRequest(
+        ready_at=ready, sequence=seq, message_id=msg_id,
+        payload_bytes=size, sender_side=side,
+        deliver=lambda: delivered.append(seq),
+    )
+
+
+class TestConfig:
+    def test_transfer_time_formula(self):
+        config = CoSimConfig(bus_arbitration_ns=50, bus_ns_per_byte=1.25)
+        assert config.bus_transfer_ns(16) == 70
+        assert config.bus_transfer_ns(0) == 50
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CoSimConfig(bus_policy="chaos").validated()
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            CoSimConfig(sw_ns_per_op=-1).validated()
+
+
+class TestBusFifo:
+    def test_single_transfer_accounting(self):
+        bus = Bus(CoSimConfig())
+        bus.request(request(ready=0, seq=1, size=16))
+        granted = bus.grant(0)
+        assert granted is not None
+        delivery, _req = granted
+        assert delivery == 70
+        assert bus.stats.messages == 1
+        assert bus.stats.bytes_moved == 16
+        assert bus.free_at == 70
+
+    def test_busy_bus_defers(self):
+        bus = Bus(CoSimConfig())
+        bus.request(request(0, 1))
+        bus.grant(0)
+        bus.request(request(0, 2))
+        assert bus.grant(10) is None          # still transferring
+        delivery, _ = bus.grant(70)
+        assert delivery == 140
+
+    def test_fifo_orders_by_sequence(self):
+        bus = Bus(CoSimConfig(bus_policy="fifo"))
+        bus.request(request(0, 5))
+        bus.request(request(0, 2))
+        _d, chosen = bus.grant(0)
+        assert chosen.sequence == 2
+
+    def test_not_ready_requests_wait(self):
+        bus = Bus(CoSimConfig())
+        bus.request(request(ready=100, seq=1))
+        assert bus.grant(0) is None
+        assert bus.next_ready_time() == 100
+
+    def test_wait_time_accounted(self):
+        bus = Bus(CoSimConfig())
+        bus.request(request(0, 1))
+        bus.grant(0)
+        bus.request(request(0, 2))
+        bus.grant(70)
+        assert bus.stats.wait_ns == 70
+
+
+class TestArbitrationPolicies:
+    def test_priority_prefers_low_message_id(self):
+        bus = Bus(CoSimConfig(bus_policy="priority"))
+        bus.request(request(0, 1, msg_id=9))
+        bus.request(request(0, 2, msg_id=1))
+        _d, chosen = bus.grant(0)
+        assert chosen.message_id == 1
+
+    def test_priority_fifo_within_level(self):
+        bus = Bus(CoSimConfig(bus_policy="priority"))
+        bus.request(request(0, 7, msg_id=1))
+        bus.request(request(0, 3, msg_id=1))
+        _d, chosen = bus.grant(0)
+        assert chosen.sequence == 3
+
+    def test_round_robin_alternates_sides(self):
+        bus = Bus(CoSimConfig(bus_policy="round_robin"))
+        bus.request(request(0, 1, side="hw"))
+        bus.request(request(0, 2, side="sw"))
+        bus.request(request(0, 3, side="hw"))
+        _d, first = bus.grant(0)
+        assert first.sender_side == "sw"     # last granted side starts "hw"
+        _d, second = bus.grant(bus.free_at)
+        assert second.sender_side == "hw"
+
+    def test_utilization_bounded(self):
+        bus = Bus(CoSimConfig())
+        bus.request(request(0, 1, size=1000))
+        bus.grant(0)
+        assert 0.0 < bus.stats.utilization(10_000) <= 1.0
+        assert bus.stats.utilization(0) == 0.0

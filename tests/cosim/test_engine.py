@@ -1,0 +1,181 @@
+"""Behavioural tests of the co-simulation engine."""
+
+import pytest
+
+from repro.cosim import (
+    CoSimConfig,
+    CoSimMachine,
+    LatencyProbe,
+    ThroughputProbe,
+    measure_partition,
+    periodic_packets,
+    poisson_packets,
+    sweep_partitions,
+)
+from repro.marks import marks_for_partition
+from repro.mda import ModelCompiler
+from repro.models import build_packetproc_model, packetproc
+
+
+def compiled(hardware=()):
+    model = build_packetproc_model()
+    component = model.components[0]
+    return ModelCompiler(model).compile(
+        marks_for_partition(component, hardware))
+
+
+def run_machine(hardware=(), packets=20, spacing=50, config=None):
+    machine = CoSimMachine(compiled(hardware), config)
+    handles = packetproc.populate(machine)
+    for index in range(packets):
+        machine.inject(handles["M"], "M1",
+                       {"pkt_id": index + 1, "length": 128},
+                       delay=index * spacing)
+    machine.run()
+    return machine, handles
+
+
+class TestFunctionalCorrectness:
+    def test_all_packets_processed_all_software(self):
+        machine, handles = run_machine(())
+        assert machine.read_attribute(handles["ST"], "packets") == 20
+
+    def test_all_packets_processed_with_hardware(self):
+        machine, handles = run_machine(("CE", "D"))
+        assert machine.read_attribute(handles["ST"], "packets") == 20
+        assert machine.read_attribute(handles["CE"], "encrypted") == 10
+
+    def test_same_results_any_partition(self):
+        results = []
+        for hardware in [(), ("CE",), ("CE", "D"), ("CE", "CL", "D", "M",
+                                                    "ST", "FR")]:
+            machine, handles = run_machine(hardware)
+            results.append((
+                machine.read_attribute(handles["ST"], "packets"),
+                machine.read_attribute(handles["ST"], "bytes_total"),
+                machine.read_attribute(handles["CE"], "encrypted"),
+            ))
+        assert len(set(results)) == 1
+
+    def test_boundary_traffic_counted(self):
+        machine, _ = run_machine(("CE", "D"))
+        # 10 crypto (CL->CE) + 10 clear (CL->D) + 20 (D->ST); the
+        # CE->D hops stay inside the hardware side and never touch
+        # the bus
+        assert machine.bus.stats.messages == 40
+        assert machine.bus_messages_sent == 40
+
+    def test_no_bus_without_boundary(self):
+        machine, _ = run_machine(())
+        assert machine.bus.stats.messages == 0
+
+
+class TestTiming:
+    def test_time_advances_monotonically(self):
+        machine, _ = run_machine(("CE",))
+        assert machine.now > 0
+
+    def test_cpu_busy_accounted(self):
+        machine, _ = run_machine(())
+        assert machine.cpu_stats.busy_ns > 0
+        assert machine.cpu_stats.dispatches > 0
+        assert 0 < machine.utilization_report()["cpu"] <= 1.0
+
+    def test_hw_stats_only_for_hw_classes(self):
+        machine, _ = run_machine(("CE",))
+        assert machine.hw_stats["CE"].dispatches > 0
+        report = machine.utilization_report()
+        assert "hw:CE" in report
+
+    def test_hardware_cheaper_per_op(self):
+        sw_machine, _ = run_machine(())
+        hw_machine, _ = run_machine(("CE", "CL", "D", "M", "ST", "FR"))
+        # identical work, faster platform: the all-hardware makespan is
+        # shorter (after the last injection at the same offset)
+        assert hw_machine.now <= sw_machine.now
+
+    def test_horizon_stops_early(self):
+        machine = CoSimMachine(compiled(()))
+        handles = packetproc.populate(machine)
+        machine.inject(handles["M"], "M1", {"pkt_id": 1, "length": 64},
+                       delay=1000)
+        machine.run(horizon_us=10)
+        assert machine.read_attribute(handles["ST"], "packets") == 0
+
+    def test_config_injection(self):
+        config = CoSimConfig(sw_ns_per_op=100, sw_dispatch_ns=1000)
+        slow, _ = run_machine((), config=config)
+        fast, _ = run_machine((), config=CoSimConfig(sw_ns_per_op=5,
+                                                     sw_dispatch_ns=50))
+        assert slow.cpu_stats.busy_ns > fast.cpu_stats.busy_ns
+
+
+class TestProbes:
+    def test_latency_probe_counts_all(self):
+        machine = CoSimMachine(compiled(("CE",)))
+        handles = packetproc.populate(machine)
+        probe = LatencyProbe(machine, ("M", "M1"), ("ST", "ST1"), "pkt_id")
+        for index in range(5):
+            machine.inject(handles["M"], "M1",
+                           {"pkt_id": index + 1, "length": 64},
+                           delay=index * 10)
+        machine.run()
+        assert probe.count == 5
+        assert probe.mean_ns() > 0
+        assert probe.p99_ns() >= probe.mean_ns() * 0.5
+        assert probe.max_ns() >= probe.p99_ns()
+
+    def test_throughput_probe(self):
+        machine = CoSimMachine(compiled(()))
+        handles = packetproc.populate(machine)
+        probe = ThroughputProbe(machine, ("ST", "ST1"))
+        for index in range(10):
+            machine.inject(handles["M"], "M1",
+                           {"pkt_id": index + 1, "length": 64},
+                           delay=index * 100)
+        machine.run()
+        assert probe.completions == 10
+        assert probe.per_second() > 0
+
+
+class TestWorkloads:
+    def test_poisson_reproducible(self):
+        a = poisson_packets(50, 10, seed=3)
+        b = poisson_packets(50, 10, seed=3)
+        assert a == b
+        assert a != poisson_packets(50, 10, seed=4)
+
+    def test_poisson_rate_roughly_matches(self):
+        packets = poisson_packets(2000, rate_per_ms=10, seed=1)
+        span_ms = packets[-1].time_us / 1000
+        rate = len(packets) / span_ms
+        assert 8 < rate < 12
+
+    def test_periodic_spacing(self):
+        packets = periodic_packets(5, period_us=100)
+        gaps = {b.time_us - a.time_us
+                for a, b in zip(packets, packets[1:])}
+        assert gaps == {100}
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_packets(1, rate_per_ms=0)
+
+
+class TestSweep:
+    def test_measure_partition_end_to_end(self):
+        model = build_packetproc_model()
+        packets = periodic_packets(30, period_us=50, length=128)
+        measurement = measure_partition(model, ("CE",), packets)
+        assert measurement.completed == 30
+        assert measurement.hardware_classes == ("CE",)
+        assert measurement.mean_latency_ns > 0
+        assert measurement.label == "CE"
+
+    def test_sweep_is_deterministic(self):
+        model = build_packetproc_model()
+        packets = periodic_packets(20, period_us=25, length=256)
+        first = sweep_partitions(model, [(), ("CE",)], packets)
+        second = sweep_partitions(model, [(), ("CE",)], packets)
+        assert [m.mean_latency_ns for m in first] == [
+            m.mean_latency_ns for m in second]

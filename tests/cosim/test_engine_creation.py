@@ -1,0 +1,49 @@
+"""Co-simulation of models that create instances at run time."""
+
+from repro.cosim import CoSimMachine
+from repro.marks import marks_for_partition
+from repro.mda import ModelCompiler
+from repro.models import build_checksum_model, fletcher_reference
+
+
+def compiled(hardware=()):
+    model = build_checksum_model()
+    component = model.components[0]
+    return ModelCompiler(model).compile(
+        marks_for_partition(component, hardware))
+
+
+class TestCreationEventsOnPlatform:
+    def test_jobs_complete_all_software(self):
+        machine = CoSimMachine(compiled(()))
+        machine.create_instance("AC", engine_id=1)
+        for job_id in (1, 2, 3):
+            machine.send_creation(
+                "J", "J0", {"job_id": job_id, "length": 40, "seed": 0})
+        machine.run()
+        jobs = machine.instances_of("J")
+        assert len(jobs) == 3
+        expected = fletcher_reference(40, 0)
+        for job in jobs:
+            assert machine.read_attribute(job, "result") == expected
+
+    def test_jobs_complete_with_hardware_engine(self):
+        machine = CoSimMachine(compiled(("AC",)))
+        machine.create_instance("AC", engine_id=1)
+        machine.send_creation(
+            "J", "J0", {"job_id": 1, "length": 64, "seed": 9})
+        machine.run()
+        job = machine.instances_of("J")[0]
+        assert machine.read_attribute(job, "result") == fletcher_reference(
+            64, 9)
+        # J (software) -> AC (hardware) and back crossed the bus
+        assert machine.bus.stats.messages == 2
+
+    def test_compute_time_attributed_to_hardware(self):
+        machine = CoSimMachine(compiled(("AC",)))
+        machine.create_instance("AC", engine_id=1)
+        machine.send_creation(
+            "J", "J0", {"job_id": 1, "length": 500, "seed": 0})
+        machine.run()
+        assert machine.hw_stats["AC"].busy_ns > 0
+        assert machine.hw_stats["AC"].dispatches >= 1

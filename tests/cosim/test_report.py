@@ -1,0 +1,53 @@
+"""Tests for sweep reporting (table + CSV)."""
+
+import csv
+import io
+
+from repro.cli import main
+from repro.cosim import (
+    measurements_to_csv,
+    periodic_packets,
+    render_table,
+    sweep_partitions,
+    write_csv,
+)
+from repro.models import build_packetproc_model
+
+
+def sample_rows():
+    model = build_packetproc_model()
+    packets = periodic_packets(10, period_us=50, length=128)
+    return sweep_partitions(model, [(), ("CE",)], packets)
+
+
+class TestReport:
+    def test_table_has_one_line_per_partition(self):
+        rows = sample_rows()
+        table = render_table(rows)
+        assert table.count("\n") == len(rows)      # header + N rows
+        assert "(all software)" in table
+        assert "CE" in table
+
+    def test_csv_parses_back(self):
+        rows = sample_rows()
+        text = measurements_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(rows)
+        assert parsed[0]["partition"] == "(all software)"
+        assert int(parsed[0]["completed"]) == 10
+        assert float(parsed[1]["mean_latency_ns"]) > 0
+
+    def test_write_csv(self, tmp_path):
+        rows = sample_rows()
+        path = write_csv(rows, tmp_path / "sweep.csv")
+        assert (tmp_path / "sweep.csv").read_text().startswith("partition,")
+        assert path.endswith("sweep.csv")
+
+    def test_cli_sweep_csv_option(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        assert main(["sweep", "--packets", "20", "--rate", "100",
+                     "--csv", str(target)]) == 0
+        assert target.exists()
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert str(target) in out

@@ -1,0 +1,93 @@
+"""CLI tests (driving main() directly, asserting output and exit codes)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.xuml import model_from_json
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    assert main(["export", "microwave",
+                 "-o", str(tmp_path / "model.json")]) == 0
+    return tmp_path / "model.json"
+
+
+class TestExport:
+    def test_export_to_stdout(self, capsys):
+        assert main(["export", "microwave"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["name"] == "Microwave"
+
+    def test_exported_file_loads(self, model_file):
+        model = model_from_json(model_file.read_text())
+        assert model.name == "Microwave"
+
+    def test_unknown_catalog_name(self):
+        with pytest.raises(KeyError):
+            main(["export", "nonexistent"])
+
+
+class TestInfoAndCheck:
+    def test_info(self, model_file, capsys):
+        assert main(["info", str(model_file)]) == 0
+        out = capsys.readouterr().out
+        assert "MicrowaveOven" in out
+        assert "classes" in out
+
+    def test_check_clean_model(self, model_file, capsys):
+        assert main(["check", str(model_file)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_check_broken_model_exits_nonzero(self, model_file, tmp_path,
+                                              capsys):
+        data = json.loads(model_file.read_text())
+        # sabotage: point a transition at a ghost state
+        machine = data["components"][0]["classes"][0]["statemachine"]
+        machine["transitions"][0][2] = "Ghost"
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps(data))
+        assert main(["check", str(broken)]) == 1
+        assert "Ghost" in capsys.readouterr().out
+
+
+class TestCompile:
+    def test_compile_with_marks(self, model_file, tmp_path, capsys):
+        marks = tmp_path / "hw.mks"
+        marks.write_text("control.PT isHardware = true\n")
+        out_dir = tmp_path / "gen"
+        assert main(["compile", str(model_file), "--marks", str(marks),
+                     "-o", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "hardware: PT" in out
+        assert (out_dir / "power_tube.vhd").exists()
+        assert (out_dir / "control_interface.h").exists()
+
+    def test_compile_without_marks_is_all_software(self, model_file,
+                                                   tmp_path, capsys):
+        out_dir = tmp_path / "gen"
+        assert main(["compile", str(model_file), "-o", str(out_dir)]) == 0
+        assert "hardware: (none)" in capsys.readouterr().out
+        assert (out_dir / "control_mo.c").exists()
+
+    def test_invalid_marks_rejected(self, model_file, tmp_path, capsys):
+        marks = tmp_path / "bad.mks"
+        marks.write_text("control.GHOST isHardware = true\n")
+        assert main(["compile", str(model_file), "--marks", str(marks),
+                     "-o", str(tmp_path / "gen")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestVerifyAndSweep:
+    def test_verify_catalog_model(self, capsys):
+        assert main(["verify", "checksum"]) == 0
+        assert "CONFORMANT" in capsys.readouterr().out
+
+    def test_sweep_prints_winner(self, capsys):
+        assert main(["sweep", "--packets", "40", "--rate", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "(all software)" in out

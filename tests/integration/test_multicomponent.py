@@ -1,0 +1,93 @@
+"""Multi-component models: per-component simulation and translation."""
+
+import pytest
+
+from repro.marks import MarkSet
+from repro.mda import ModelCompiler
+from repro.runtime import Simulation
+from repro.xuml import ModelBuilder
+
+
+def build_two_domain_model():
+    """Two independent domains in one system model."""
+    builder = ModelBuilder("System")
+
+    control = builder.component("control")
+    pump = control.klass("Pump", "PU")
+    pump.attr("pu_id", "unique_id")
+    pump.attr("running", "boolean")
+    pump.event("PU1", "toggle")
+    pump.state("Off", 1, activity="self.running = false;")
+    pump.state("On", 2, activity="self.running = true;")
+    pump.trans("Off", "PU1", "On")
+    pump.trans("On", "PU1", "Off")
+
+    logging = builder.component("logging")
+    journal = logging.klass("Journal", "JO")
+    journal.attr("jo_id", "unique_id")
+    journal.attr("entries", "integer")
+    journal.event("JO1", "record")
+    journal.state("Ready", 1)
+    journal.state("Recording", 2, activity="""
+        self.entries = self.entries + 1;
+        generate JO2:JO() to self;
+    """)
+    journal.event("JO2", "recorded")
+    journal.trans("Ready", "JO1", "Recording")
+    journal.trans("Recording", "JO2", "Ready")
+    journal.ignore("Ready", "JO2")
+
+    return builder.build()
+
+
+class TestSimulationPerComponent:
+    def test_each_component_simulates_independently(self):
+        model = build_two_domain_model()
+        control = Simulation(model, component="control")
+        pump = control.create_instance("PU", pu_id=1)
+        control.inject(pump, "PU1")
+        control.run_to_quiescence()
+        assert control.read_attribute(pump, "running") is True
+
+        logging = Simulation(model, component="logging")
+        journal = logging.create_instance("JO", jo_id=1)
+        logging.inject(journal, "JO1")
+        logging.run_to_quiescence()
+        assert logging.read_attribute(journal, "entries") == 1
+
+    def test_component_isolation(self):
+        model = build_two_domain_model()
+        control = Simulation(model, component="control")
+        with pytest.raises(Exception):
+            control.create_instance("JO")      # other domain's class
+
+
+class TestCompilationPerComponent:
+    def test_compiler_requires_component_choice(self):
+        model = build_two_domain_model()
+        with pytest.raises(ValueError):
+            ModelCompiler(model)
+
+    def test_each_component_compiles(self):
+        model = build_two_domain_model()
+        marks = MarkSet()
+        marks.set("control.PU", "isHardware", True)
+        control_build = ModelCompiler(model, component="control").compile(marks)
+        assert "pump.vhd" in control_build.artifacts
+        assert control_build.lint() == []
+
+        logging_build = ModelCompiler(model, component="logging").compile(
+            MarkSet())
+        assert "logging_jo.c" in logging_build.artifacts
+        assert logging_build.lint() == []
+
+    def test_cli_component_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.xuml import model_to_json
+
+        model_file = tmp_path / "system.json"
+        model_file.write_text(model_to_json(build_two_domain_model()))
+        out_dir = tmp_path / "gen"
+        assert main(["compile", str(model_file), "--component", "logging",
+                     "-o", str(out_dir)]) == 0
+        assert (out_dir / "logging_jo.c").exists()

@@ -1,0 +1,171 @@
+"""Property-based tests of the toolchain's core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.marks import MarkSet, diff_marks, marks_for_partition
+from repro.mda import InterfaceCodec
+from repro.models import build_packetproc_model, packetproc
+from repro.runtime import (
+    EventPool,
+    InterleavedScheduler,
+    SignalInstance,
+    Simulation,
+    check_trace,
+)
+
+MODEL = build_packetproc_model()
+
+
+# ---------------------------------------------------------------------------
+# queue discipline: self-first + per-receiver FIFO, under any consumption
+# pattern a scheduler is allowed to use
+# ---------------------------------------------------------------------------
+
+@st.composite
+def signal_batches(draw):
+    count = draw(st.integers(1, 30))
+    signals = []
+    for sequence in range(1, count + 1):
+        target = draw(st.integers(1, 4))
+        self_directed = draw(st.booleans())
+        signals.append(SignalInstance(
+            sequence=sequence, label=f"EV{sequence}", class_key="W",
+            params={}, target_handle=target,
+            sender_handle=target if self_directed else 99,
+        ))
+    return signals
+
+
+@given(signal_batches(), st.randoms(use_true_random=False))
+def test_pool_preserves_per_receiver_order(signals, rng):
+    """Popping in any scheduler order keeps self-first + FIFO per target."""
+    pool = EventPool()
+    for signal in signals:
+        pool.push_ready(signal)
+    consumed: dict[int, list[SignalInstance]] = {}
+    while True:
+        handles = pool.ready_handles()
+        if not handles:
+            break
+        handle = rng.choice(handles)
+        signal = pool.pop_for(handle)
+        consumed.setdefault(handle, []).append(signal)
+    for handle, events in consumed.items():
+        # all self-directed events precede all external ones
+        kinds = [e.is_self_directed for e in events]
+        assert kinds == sorted(kinds, reverse=True)
+        # FIFO within each kind
+        self_seqs = [e.sequence for e in events if e.is_self_directed]
+        other_seqs = [e.sequence for e in events if not e.is_self_directed]
+        assert self_seqs == sorted(self_seqs)
+        assert other_seqs == sorted(other_seqs)
+
+
+# ---------------------------------------------------------------------------
+# interleaving independence: any seed, same per-instance behaviour
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=15,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 2**32 - 1), st.integers(1, 10))
+def test_interleaving_independence(seed, packets):
+    baseline = Simulation(MODEL)
+    handles = packetproc.populate(baseline)
+    packetproc.inject_packets(baseline, handles["M"], packets, length=64)
+    baseline.run_to_quiescence()
+
+    shuffled = Simulation(MODEL, scheduler=InterleavedScheduler(seed))
+    handles2 = packetproc.populate(shuffled)
+    packetproc.inject_packets(shuffled, handles2["M"], packets, length=64)
+    shuffled.run_to_quiescence()
+
+    assert (baseline.trace.behavioural_summary()
+            == shuffled.trace.behavioural_summary())
+    assert check_trace(shuffled.trace) == []
+
+
+# ---------------------------------------------------------------------------
+# interface codec: pack/unpack is the identity on every field
+# ---------------------------------------------------------------------------
+
+_CODEC = None
+
+
+def _codec():
+    global _CODEC
+    if _CODEC is None:
+        from repro.marks import marks_for_partition
+        from repro.mda import ModelCompiler
+        component = MODEL.components[0]
+        build = ModelCompiler(MODEL).compile(
+            marks_for_partition(component, ("CE", "D")))
+        _CODEC = InterfaceCodec.from_artifact(
+            build.interface.emit_c_header())
+    return _CODEC
+
+
+@given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1),
+       st.integers(-(2**31), 2**31 - 1), st.integers(0, 2**32 - 1))
+def test_codec_roundtrip_is_identity(pkt_id, length, flow, target):
+    # pkt_id/length/flow are signed 32-bit "integer" fields;
+    # target_instance is an unsigned handle
+    codec = _codec()
+    values = {"target_instance": target, "pkt_id": pkt_id,
+              "length": length, "flow": flow}
+    assert codec.unpack("ce_ce1", codec.pack("ce_ce1", values)) == values
+
+
+@given(st.integers(), st.integers())
+def test_codec_rejects_out_of_range_loudly(pkt_id, target):
+    """Out-of-range values must raise, never truncate silently."""
+    import pytest
+    from hypothesis import assume
+    codec = _codec()
+    assume(not (-(2**31) <= pkt_id < 2**31) or not (0 <= target < 2**32))
+    values = {"target_instance": target, "pkt_id": pkt_id,
+              "length": 0, "flow": 0}
+    with pytest.raises(OverflowError):
+        codec.pack("ce_ce1", values)
+
+
+# ---------------------------------------------------------------------------
+# marks: diffs are complete and minimal
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_partitions(draw):
+    keys = sorted(MODEL.components[0].class_keys)
+    subset = draw(st.sets(st.sampled_from(keys)))
+    return tuple(sorted(subset))
+
+
+@given(random_partitions(), random_partitions())
+def test_partition_diff_counts_moved_classes(first, second):
+    component = MODEL.components[0]
+    marks_a = marks_for_partition(component, first)
+    marks_b = marks_for_partition(component, second)
+    changes = diff_marks(marks_a, marks_b)
+    moved = set(first) ^ set(second)
+    assert len(changes) == len(moved)
+    # applying the diff's new values onto A yields exactly B
+    patched = marks_a.copy()
+    for change in changes:
+        patched.set(change.element_path, change.mark_name, change.new_value)
+    assert patched.marks == marks_b.marks
+
+
+@given(random_partitions())
+def test_partition_derivation_matches_marks(subset):
+    from repro.marks import derive_partition
+    component = MODEL.components[0]
+    marks = marks_for_partition(component, subset)
+    partition = derive_partition(MODEL, component, marks)
+    assert set(partition.hardware_classes) == set(subset)
+    for flow in partition.boundary_flows:
+        assert (partition.side_of(flow.sender_class)
+                != partition.side_of(flow.receiver_class))
+    for flow in partition.internal_flows:
+        assert (partition.side_of(flow.sender_class)
+                == partition.side_of(flow.receiver_class))

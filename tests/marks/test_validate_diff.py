@@ -1,0 +1,98 @@
+"""Unit tests for mark validation and mark-set diffing."""
+
+import pytest
+
+from repro.marks import (
+    ChangeKind,
+    MarkError,
+    MarkSet,
+    diff_marks,
+    partition_change_cost,
+    validate_marks,
+)
+from repro.models import build_microwave_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_microwave_model()
+
+
+class TestValidation:
+    def test_valid_marks_pass(self, model):
+        marks = MarkSet()
+        marks.set("control.MO", "isHardware", True)
+        marks.set("control.MO", "clock_mhz", 200)
+        assert validate_marks(marks, model) == []
+
+    def test_unknown_element_reported(self, model):
+        marks = MarkSet()
+        marks.set("control.GHOST", "isHardware", True)
+        violations = validate_marks(marks, model)
+        assert any("does not exist" in str(v) for v in violations)
+
+    def test_component_level_marks_allowed(self, model):
+        marks = MarkSet()
+        marks.set("control", "bus", "axi0")
+        assert validate_marks(marks, model) == []
+
+    def test_clock_range_checked(self, model):
+        marks = MarkSet()
+        marks.set("control.MO", "isHardware", True)
+        marks.set("control.MO", "clock_mhz", 0)
+        violations = validate_marks(marks, model)
+        assert any("outside" in str(v) for v in violations)
+
+    def test_clock_on_software_class_reported(self, model):
+        marks = MarkSet()
+        marks.set("control.MO", "clock_mhz", 100)   # but not isHardware
+        violations = validate_marks(marks, model)
+        assert any("only applies" in str(v) for v in violations)
+
+    def test_queue_depth_positive(self, model):
+        marks = MarkSet()
+        marks.set("control.MO", "queue_depth", 0)
+        violations = validate_marks(marks, model)
+        assert any("at least 1" in str(v) for v in violations)
+
+    def test_strict_raises(self, model):
+        marks = MarkSet()
+        marks.set("nowhere.XX", "isHardware", True)
+        with pytest.raises(MarkError):
+            validate_marks(marks, model, strict=True)
+
+
+class TestDiff:
+    def test_added_removed_changed(self):
+        old = MarkSet()
+        old.set("c.A", "isHardware", True)
+        old.set("c.B", "clock_mhz", 100)
+        new = MarkSet()
+        new.set("c.A", "isHardware", False)       # changed
+        new.set("c.C", "isHardware", True)        # added
+        changes = diff_marks(old, new)            # B's mark removed
+        kinds = {(c.element_path, c.kind) for c in changes}
+        assert ("c.A", ChangeKind.CHANGED) in kinds
+        assert ("c.B", ChangeKind.REMOVED) in kinds
+        assert ("c.C", ChangeKind.ADDED) in kinds
+
+    def test_identical_sets_diff_empty(self):
+        marks = MarkSet()
+        marks.set("c.A", "isHardware", True)
+        assert diff_marks(marks, marks.copy()) == []
+
+    def test_partition_change_cost_counts_only_is_hardware(self):
+        old = MarkSet()
+        old.set("c.A", "isHardware", False)
+        old.set("c.A", "clock_mhz", 100)
+        new = MarkSet()
+        new.set("c.A", "isHardware", True)
+        new.set("c.A", "clock_mhz", 400)
+        assert partition_change_cost(old, new) == 1
+
+    def test_change_rendering(self):
+        old = MarkSet()
+        new = MarkSet()
+        new.set("c.A", "isHardware", True)
+        change = diff_marks(old, new)[0]
+        assert str(change).startswith("+ c.A isHardware")

@@ -1,0 +1,88 @@
+"""Reflexive associations through the whole pipeline.
+
+The org-chart pattern (a class related to itself with two phrases) is
+the trickiest link topology; these tests push it through the abstract
+runtime, the manifest, and both target architectures.
+"""
+
+import pytest
+
+from repro.mda import ArchError, CSoftwareMachine, VHardwareMachine, build_manifest
+from repro.runtime import Simulation
+from repro.xuml import ModelBuilder
+
+
+def build_orgchart():
+    builder = ModelBuilder("Org")
+    company = builder.component("company")
+    person = company.klass("Person", "P")
+    person.attr("p_id", "unique_id")
+    person.attr("reports", "integer")
+    person.event("P1", "count reports")
+    person.state("Idle", 1)
+    person.state("Counting", 2, activity="""
+        select many team related by self->P[R1.'manages'];
+        self.reports = cardinality team;
+        total = 0;
+        for each member in team
+            select many theirs related by member->P[R1.'manages'];
+            total = total + cardinality theirs;
+        end for;
+        self.reports = self.reports + total;
+    """)
+    person.trans("Idle", "P1", "Counting")
+    person.trans("Counting", "P1", "Counting")
+    company.assoc("R1", ("P", "manages", "*"), ("P", "is managed by", "0..1"))
+    return builder.build()
+
+
+def populate(engine):
+    """boss -> {lead_a, lead_b}; lead_a -> {worker}.  Returns handles."""
+    boss = engine.create_instance("P", p_id=1)
+    lead_a = engine.create_instance("P", p_id=2)
+    lead_b = engine.create_instance("P", p_id=3)
+    worker = engine.create_instance("P", p_id=4)
+    engine.relate(boss, lead_a, "R1", "manages")
+    engine.relate(boss, lead_b, "R1", "manages")
+    engine.relate(lead_a, worker, "R1", "manages")
+    return boss, lead_a, lead_b, worker
+
+
+ENGINES = [
+    ("abstract", lambda model: Simulation(model)),
+    ("csim", lambda model: CSoftwareMachine(
+        build_manifest(model, model.components[0]))),
+    ("vsim", lambda model: VHardwareMachine(
+        build_manifest(model, model.components[0]), clock_mhz=10)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ENGINES)
+class TestReflexiveEverywhere:
+    def test_transitive_count(self, name, factory):
+        engine = factory(build_orgchart())
+        boss, *_rest = populate(engine)
+        engine.inject(boss, "P1")
+        engine.run_to_quiescence()
+        # 2 direct + 1 transitive
+        assert engine.read_attribute(boss, "reports") == 3
+
+    def test_navigation_both_phrases(self, name, factory):
+        engine = factory(build_orgchart())
+        boss, lead_a, _lead_b, worker = populate(engine)
+        assert engine.navigate(boss, "R1", "P", "manages") == (lead_a, 3)
+        assert engine.navigate(lead_a, "R1", "P", "is managed by") == (boss,)
+        assert engine.navigate(worker, "R1", "P", "manages") == ()
+
+    def test_one_manager_enforced(self, name, factory):
+        engine = factory(build_orgchart())
+        boss, _a, _b, worker = populate(engine)
+        with pytest.raises(Exception) as excinfo:
+            engine.relate(boss, worker, "R1", "manages")
+        assert "R1" in str(excinfo.value)
+
+    def test_phrase_required(self, name, factory):
+        engine = factory(build_orgchart())
+        boss, lead_a, *_ = populate(engine)
+        with pytest.raises(Exception):
+            engine.navigate(boss, "R1", "P")

@@ -1,0 +1,103 @@
+"""Unit tests for the structural lints: they must catch injected faults."""
+
+import pytest
+
+from repro.marks import marks_for_partition
+from repro.mda import ModelCompiler, lint_c, lint_vhdl
+from repro.models import build_microwave_model
+
+
+@pytest.fixture(scope="module")
+def build():
+    model = build_microwave_model()
+    component = model.components[0]
+    return ModelCompiler(model).compile(
+        marks_for_partition(component, ("PT",)))
+
+
+class TestCleanArtifactsPass:
+    def test_generated_c_is_clean(self, build):
+        for path, text in build.c_artifacts.items():
+            assert lint_c(path, text) == [], path
+
+    def test_generated_vhdl_is_clean(self, build):
+        for path, text in build.vhdl_artifacts.items():
+            assert lint_vhdl(path, text) == [], path
+
+
+class TestCLintCatchesFaults:
+    def test_unbalanced_brace(self, build):
+        text = build.artifacts["control_mo.c"].replace("}\n", "\n", 1)
+        findings = lint_c("x.c", text)
+        assert any("unclosed brace" in f.message for f in findings)
+
+    def test_extra_closing_brace(self):
+        findings = lint_c("x.c", "void f(void)\n{\n}\n}\n")
+        assert any("unbalanced closing" in f.message for f in findings)
+
+    def test_missing_include_guard(self):
+        findings = lint_c("x.h", "typedef int foo_t;\n")
+        assert any("include guard" in f.message for f in findings)
+
+    def test_guard_never_defined(self):
+        findings = lint_c("x.h", "#ifndef A_H\n#define B_H\n#endif\n")
+        assert any("never #defined" in f.message for f in findings)
+
+    def test_case_fallthrough_detected(self):
+        text = (
+            "void f(int e)\n{\n    switch (e) {\n"
+            "    case 1:\n        do_a();\n"
+            "    case 2:\n        break;\n    }\n}\n"
+        )
+        findings = lint_c("x.c", text)
+        assert any("falls through" in f.message for f in findings)
+
+    def test_unterminated_statement_detected(self):
+        findings = lint_c("x.c", "void f(void)\n{\n    int x = 1\n}\n")
+        assert any("suspicious line ending" in f.message for f in findings)
+
+    def test_comment_bodies_exempt(self):
+        text = "/* anything\n goes here with no semicolon\n*/\nint x = 1;\n"
+        assert lint_c("x.c", text) == []
+
+
+class TestVhdlLintCatchesFaults:
+    def test_unclosed_process(self):
+        text = (
+            "entity e is\nend entity e;\n"
+            "architecture rtl of e is\nbegin\n"
+            "    p : process (clk)\n    begin\n"
+            "end architecture rtl;\n"
+        )
+        findings = lint_vhdl("x.vhd", text)
+        assert findings   # mismatched or unclosed blocks reported
+
+    def test_mismatched_end_kind(self):
+        text = "entity e is\nend process;\n"
+        findings = lint_vhdl("x.vhd", text)
+        assert any("closes" in f.message or "nothing open" in f.message
+                   for f in findings)
+
+    def test_architecture_of_unknown_entity(self):
+        text = (
+            "entity real_one is\nend entity real_one;\n"
+            "architecture rtl of ghost is\nbegin\nend architecture rtl;\n"
+        )
+        findings = lint_vhdl("x.vhd", text)
+        assert any("unknown entity" in f.message for f in findings)
+
+    def test_end_with_nothing_open(self):
+        findings = lint_vhdl("x.vhd", "end case;\n")
+        assert any("nothing open" in f.message for f in findings)
+
+    def test_record_blocks_balanced(self):
+        text = (
+            "package p is\n"
+            "    type r_t is record\n        f : integer;\n    end record;\n"
+            "end package p;\n"
+        )
+        assert lint_vhdl("x.vhd", text) == []
+
+    def test_finding_str_includes_position(self):
+        finding = lint_c("x.h", "int x;\n")[0]
+        assert str(finding).startswith("x.h:")

@@ -1,0 +1,55 @@
+"""Unit tests for mapping rules."""
+
+import pytest
+
+from repro.marks import MarkSet
+from repro.mda import MappingRule, RuleError, RuleSet
+
+
+class TestStandardRules:
+    def test_is_hardware_selects_vhdl(self):
+        rules = RuleSet.standard()
+        marks = MarkSet()
+        marks.set("c.CE", "isHardware", True)
+        assert rules.resolve("c.CE", marks).target == "vhdl"
+
+    def test_default_is_software(self):
+        rules = RuleSet.standard()
+        assert rules.resolve("c.M", MarkSet()).target == "c"
+
+    def test_first_match_wins(self):
+        rules = RuleSet.standard()
+        marks = MarkSet()
+        marks.set("c.CE", "isHardware", True)
+        # the hardware rule precedes the catch-all software rule
+        assert rules.resolve("c.CE", marks).name == "hardware-class"
+
+    def test_targets_listing(self):
+        assert RuleSet.standard().targets() == ("vhdl", "c")
+
+
+class TestExtension:
+    def test_prepend_new_target(self):
+        systemc = MappingRule(
+            "systemc-class", "systemc",
+            lambda path, marks: marks.get(path, "processor") == "sysc0",
+        )
+        rules = RuleSet.standard().prepend(systemc)
+        marks = MarkSet()
+        marks.set("c.X", "processor", "sysc0")
+        assert rules.resolve("c.X", marks).target == "systemc"
+        # existing behaviour untouched
+        assert rules.resolve("c.Y", MarkSet()).target == "c"
+
+    def test_prepend_does_not_mutate_original(self):
+        original = RuleSet.standard()
+        original.prepend(MappingRule("x", "x", lambda p, m: True))
+        assert len(original.rules) == 2
+
+    def test_empty_rule_set_raises(self):
+        with pytest.raises(RuleError):
+            RuleSet([]).resolve("c.X", MarkSet())
+
+    def test_rule_str(self):
+        rule = RuleSet.standard().rules[0]
+        assert "->" in str(rule)

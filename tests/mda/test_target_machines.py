@@ -1,0 +1,173 @@
+"""Tests of the target-architecture simulators (csim / vsim / archrt)."""
+
+import pytest
+
+from repro.mda import ArchError, CSoftwareMachine, VHardwareMachine, build_manifest
+from repro.models import (
+    build_checksum_model,
+    build_microwave_model,
+    build_packetproc_model,
+    checksum,
+    fletcher_reference,
+    packetproc,
+)
+from repro.runtime import Simulation
+
+
+def manifest_of(model):
+    return build_manifest(model, model.components[0])
+
+
+class TestCSoftwareMachine:
+    def test_microwave_cook_cycle(self):
+        machine = CSoftwareMachine(manifest_of(build_microwave_model()))
+        oven = machine.create_instance("MO", oven_id=1)
+        tube = machine.create_instance("PT", tube_id=1)
+        machine.relate(oven, tube, "R1")
+        machine.inject(oven, "MO1", {"seconds": 2})
+        machine.run_to_quiescence()
+        assert machine.state_of(oven) == "Complete"
+        assert machine.state_of(tube) == "Off"
+        assert machine.read_attribute(oven, "cycles_run") == 1
+        assert machine.now == 2_000_000
+
+    def test_matches_abstract_runtime_exactly(self):
+        model = build_packetproc_model()
+        abstract = Simulation(model)
+        handles_a = packetproc.populate(abstract)
+        packetproc.inject_packets(abstract, handles_a["M"], 15, length=200,
+                                  spacing=100)
+        abstract.run_to_quiescence()
+
+        machine = CSoftwareMachine(manifest_of(model))
+        handles_c = packetproc.populate(machine)
+        packetproc.inject_packets(machine, handles_c["M"], 15, length=200,
+                                  spacing=100)
+        machine.run_to_quiescence()
+
+        assert (machine.trace.behavioural_summary()
+                == abstract.trace.behavioural_summary())
+        for key in ("M", "CL", "CE", "D", "ST"):
+            assert machine.state_of(handles_c[key]) == abstract.state_of(
+                handles_a[key])
+
+    def test_operations_compute_identically(self):
+        machine = CSoftwareMachine(manifest_of(build_checksum_model()))
+        machine.create_instance("AC", engine_id=1)
+        machine.send_creation("J", "J0",
+                              {"job_id": 1, "length": 64, "seed": 3})
+        machine.run_to_quiescence()
+        job = machine.instances_of("J")[0]
+        assert machine.read_attribute(job, "result") == fletcher_reference(
+            64, 3)
+
+    def test_cant_happen_raises(self):
+        machine = CSoftwareMachine(manifest_of(build_microwave_model()))
+        oven = machine.create_instance("MO", oven_id=1)
+        machine.inject(oven, "MO5")      # no Idle entry
+        with pytest.raises(ArchError):
+            machine.run_to_quiescence()
+
+    def test_log_and_metrics_collected(self):
+        machine = CSoftwareMachine(manifest_of(build_microwave_model()))
+        oven = machine.create_instance("MO", oven_id=1)
+        machine.inject(oven, "MO1", {"seconds": 1})
+        machine.run_to_quiescence()
+        assert any(line == "ding" for _t, line in machine.log_lines)
+
+    def test_ops_counter_increases(self):
+        machine = CSoftwareMachine(manifest_of(build_microwave_model()))
+        oven = machine.create_instance("MO", oven_id=1)
+        machine.inject(oven, "MO1", {"seconds": 1})
+        machine.run_to_quiescence()
+        assert machine.ops_executed > 10
+
+
+class TestVHardwareMachine:
+    def test_clock_scales_delays(self):
+        machine = VHardwareMachine(manifest_of(build_microwave_model()),
+                                   clock_mhz=100)
+        oven = machine.create_instance("MO", oven_id=1)
+        machine.inject(oven, "MO1", {"seconds": 1})
+        machine.run_to_quiescence()
+        assert machine.state_of(oven) == "Complete"
+        # one second at 100 MHz = 1e8 cycles (plus pipeline edges)
+        assert machine.cycle >= 100_000_000
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ArchError):
+            VHardwareMachine(manifest_of(build_microwave_model()),
+                             clock_mhz=0)
+
+    def test_registered_outputs_take_one_edge(self):
+        machine = VHardwareMachine(manifest_of(build_microwave_model()),
+                                   clock_mhz=1)
+        oven = machine.create_instance("MO", oven_id=1)
+        machine.inject(oven, "MO1", {"seconds": 0})
+        # edge 1 consumes MO1 and *registers* MO5; edge 2 consumes MO5
+        machine.tick()
+        assert machine.state_of(oven) == "Preparing"
+        machine.tick()
+        assert machine.state_of(oven) == "Cooking"
+
+    def test_behaviour_matches_abstract(self):
+        model = build_packetproc_model()
+        abstract = Simulation(model)
+        handles_a = packetproc.populate(abstract)
+        packetproc.inject_packets(abstract, handles_a["M"], 10, length=100,
+                                  spacing=20)
+        abstract.run_to_quiescence()
+
+        machine = VHardwareMachine(manifest_of(model), clock_mhz=50)
+        handles_v = packetproc.populate(machine)
+        packetproc.inject_packets(machine, handles_v["M"], 10, length=100,
+                                  spacing=20)
+        machine.run_to_quiescence()
+        assert (machine.trace.behavioural_summary()
+                == abstract.trace.behavioural_summary())
+
+    def test_run_until_converts_microseconds(self):
+        machine = VHardwareMachine(manifest_of(build_microwave_model()),
+                                   clock_mhz=10)
+        oven = machine.create_instance("MO", oven_id=1)
+        machine.inject(oven, "MO1", {"seconds": 3})
+        machine.run_until(1_500_000)     # 1.5 s into a 3 s cook
+        assert machine.state_of(oven) == "Cooking"
+        machine.run_until(4_000_000)
+        assert machine.state_of(oven) == "Complete"
+
+
+class TestArchRuntimeDetails:
+    def test_multiplicity_enforced(self):
+        machine = CSoftwareMachine(manifest_of(build_microwave_model()))
+        oven_a = machine.create_instance("MO", oven_id=1)
+        oven_b = machine.create_instance("MO", oven_id=2)
+        tube = machine.create_instance("PT", tube_id=1)
+        machine.relate(oven_a, tube, "R1")
+        with pytest.raises(ArchError):
+            machine.relate(oven_b, tube, "R1")
+
+    def test_delete_clears_links_and_events(self):
+        machine = CSoftwareMachine(manifest_of(build_microwave_model()))
+        oven = machine.create_instance("MO", oven_id=1)
+        tube = machine.create_instance("PT", tube_id=1)
+        machine.relate(oven, tube, "R1")
+        machine.inject(tube, "PT1")
+        machine.delete_instance(tube)
+        machine.run_to_quiescence()    # dropped, no error
+        assert machine.navigate(oven, "R1", "PT") == ()
+
+    def test_unknown_instance_raises(self):
+        machine = CSoftwareMachine(manifest_of(build_microwave_model()))
+        with pytest.raises(ArchError):
+            machine.state_of(99)
+
+    def test_timer_bridge_in_architecture(self):
+        # the trafficlight model uses TIM::timer_start/cancel
+        from repro.models import build_trafficlight_model
+        machine = CSoftwareMachine(
+            manifest_of(build_trafficlight_model()))
+        tc = machine.create_instance("TC", controller_id=1)
+        machine.inject(tc, "T1")
+        machine.run_until(36_000_000)
+        assert machine.state_of(tc) == "AllRedToEW"

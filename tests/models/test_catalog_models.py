@@ -1,0 +1,180 @@
+"""Behavioural tests of the prebuilt catalog models."""
+
+import pytest
+
+from repro.models import (
+    CATALOG,
+    all_models,
+    build_model,
+    checksum,
+    elevator,
+    fletcher_reference,
+    microwave,
+    packetproc,
+    trafficlight,
+)
+from repro.runtime import Simulation, check_trace
+from repro.xuml import check_model
+
+
+class TestCatalog:
+    def test_all_models_build_and_check(self):
+        models = all_models()
+        assert len(models) == len(CATALOG)
+        for model in models.values():
+            errors = [v for v in check_model(model)
+                      if v.severity.value == "error"]
+            assert errors == []
+
+    def test_build_model_by_name(self):
+        assert build_model("microwave").name == "Microwave"
+        with pytest.raises(KeyError):
+            build_model("nope")
+
+    def test_catalog_highlights_documented(self):
+        for entry in CATALOG:
+            assert entry.highlight
+
+
+class TestMicrowave:
+    def test_cook_countdown_ticks_in_seconds(self):
+        sim = Simulation(microwave.build_microwave_model())
+        oven, _tube = microwave.populate(sim)
+        sim.inject(oven, "MO1", {"seconds": 4})
+        sim.run_until(1_500_000)
+        assert sim.read_attribute(oven, "remaining_seconds") == 2
+        sim.run_to_quiescence()
+        assert sim.now == 4_000_000
+
+    def test_tube_follows_oven(self):
+        sim = Simulation(microwave.build_microwave_model())
+        oven, tube = microwave.populate(sim)
+        sim.inject(oven, "MO1", {"seconds": 10})
+        sim.run_until(1_000_000)
+        assert sim.state_of(tube) == "Energized"
+        sim.inject(oven, "MO2")
+        sim.run_until(1_100_000)
+        assert sim.state_of(tube) == "Off"
+
+    def test_pause_preserves_remaining_time(self):
+        sim = Simulation(microwave.build_microwave_model())
+        oven, _tube = microwave.populate(sim)
+        sim.inject(oven, "MO1", {"seconds": 10})
+        sim.run_until(3_500_000)
+        sim.inject(oven, "MO2")
+        sim.run_until(60_000_000)           # door stays open a long time
+        remaining = sim.read_attribute(oven, "remaining_seconds")
+        assert sim.state_of(oven) == "Paused"
+        sim.inject(oven, "MO3")
+        sim.run_to_quiescence()
+        assert sim.state_of(oven) == "Complete"
+        # total cook time resumed where it left off
+        assert sim.now == 60_000_000 + remaining * 1_000_000
+
+
+class TestTrafficLight:
+    def test_full_cycle_timing(self):
+        sim = Simulation(trafficlight.build_trafficlight_model())
+        tc, _ = trafficlight.populate(sim)
+        trafficlight.start(sim, tc)
+        # one full cycle: 30+5+2+30+5+2 = 74 s
+        sim.run_until(74_000_000)
+        assert sim.state_of(tc) == "NSGreen"
+        assert sim.read_attribute(tc, "cycles") == 2
+
+    def test_multiple_buttons_one_controller(self):
+        sim = Simulation(trafficlight.build_trafficlight_model())
+        tc, buttons = trafficlight.populate(sim, buttons=3)
+        trafficlight.start(sim, tc)
+        for button in buttons:
+            sim.inject(button, "PB1", delay=5_000_000)
+        sim.run_until(5_500_000)        # inside the 1 s cut window
+        # all three fired, but the controller cut green only once
+        assert sim.state_of(tc) == "NSGreenCut"
+        assert sim.read_attribute(tc, "ped_services") == 1
+
+
+class TestPacketProc:
+    def test_flow_accounting_partitions_traffic(self):
+        sim = Simulation(packetproc.build_packetproc_model())
+        handles = packetproc.populate(sim)
+        packetproc.inject_packets(sim, handles["M"], 40, length=100)
+        sim.run_to_quiescence()
+        per_flow = [sim.read_attribute(handles[f"FR{f}"], "packets")
+                    for f in range(4)]
+        assert per_flow == [10, 10, 10, 10]
+        assert sum(per_flow) == sim.read_attribute(handles["ST"], "packets")
+
+    def test_crypto_only_odd_flows(self):
+        sim = Simulation(packetproc.build_packetproc_model())
+        handles = packetproc.populate(sim)
+        packetproc.inject_packets(sim, handles["M"], 8, length=64)
+        sim.run_to_quiescence()
+        assert sim.read_attribute(handles["CE"], "encrypted") == 4
+        assert check_trace(sim.trace) == []
+
+    def test_byte_accounting_consistent(self):
+        sim = Simulation(packetproc.build_packetproc_model())
+        handles = packetproc.populate(sim)
+        packetproc.inject_packets(sim, handles["M"], 5, length=333)
+        sim.run_to_quiescence()
+        assert sim.read_attribute(handles["M"], "rx_bytes") == 5 * 333
+        assert sim.read_attribute(handles["ST"], "bytes_total") == 5 * 333
+        assert sim.read_attribute(handles["D"], "bytes_moved") == 5 * 333
+
+
+class TestElevator:
+    def test_closest_idle_car_wins_first(self):
+        sim = Simulation(elevator.build_elevator_model())
+        bank, cars = elevator.populate(sim, cars=2)
+        sim.inject(bank, "B1", {"floor": 6, "going_up": True})
+        sim.run_to_quiescence()
+        trips = [sim.read_attribute(car, "trips") for car in cars]
+        assert sorted(trips) == [0, 1]
+
+    def test_calls_are_deleted_after_service(self):
+        sim = Simulation(elevator.build_elevator_model())
+        bank, _cars = elevator.populate(sim, cars=1)
+        for floor in (3, 3, 3):
+            sim.inject(bank, "B1", {"floor": floor, "going_up": True})
+        sim.run_to_quiescence()
+        assert sim.instances_of("CA") == ()
+        assert sim.referential_violations() == []
+
+    def test_floors_travelled_accumulates(self):
+        sim = Simulation(elevator.build_elevator_model())
+        bank, cars = elevator.populate(sim, cars=1)
+        sim.inject(bank, "B1", {"floor": 5, "going_up": True})
+        sim.run_to_quiescence()
+        assert sim.read_attribute(cars[0], "floors_travelled") == 4
+        assert sim.read_attribute(cars[0], "current_floor") == 5
+
+
+class TestChecksum:
+    def test_reference_implementation_agrees(self):
+        sim = Simulation(checksum.build_checksum_model())
+        checksum.populate(sim)
+        for job_id, (length, seed) in enumerate(
+                [(1, 0), (10, 5), (255, 254), (300, 7)], start=1):
+            checksum.submit_job(sim, job_id, length, seed)
+        sim.run_to_quiescence()
+        for handle in sim.instances_of("J"):
+            expected = fletcher_reference(
+                sim.read_attribute(handle, "length"),
+                sim.read_attribute(handle, "seed"))
+            assert sim.read_attribute(handle, "result") == expected
+            assert sim.read_attribute(handle, "done") is True
+
+    def test_engine_serializes_jobs(self):
+        sim = Simulation(checksum.build_checksum_model())
+        engines = checksum.populate(sim, engines=1)
+        for job_id in range(1, 6):
+            checksum.submit_job(sim, job_id, 20)
+        sim.run_to_quiescence()
+        assert sim.read_attribute(engines[0], "jobs_done") == 5
+        assert len(sim.instances_of("J")) == 5
+
+    def test_class_operation_counts_engines(self):
+        sim = Simulation(checksum.build_checksum_model())
+        checksum.populate(sim, engines=3)
+        assert sim.call_class_operation("AC", "engines_available", {}) == 3

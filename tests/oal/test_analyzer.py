@@ -1,0 +1,297 @@
+"""Unit tests for the OAL static analyzer."""
+
+import pytest
+
+from repro.oal import AnalysisError, analyze_activity, parse_activity
+from repro.oal.analyzer import shared_event_parameters
+from repro.xuml import CoreType, InstRefType, InstSetType, ModelBuilder
+
+
+def fixture_model():
+    """A component with enough structure to exercise every rule."""
+    builder = ModelBuilder("M")
+    component = builder.component("c")
+    component.enum("Mode", ["OFF", "ON"])
+    component.ext("LOG").bridge("info", params=[("message", "string")])
+
+    widget = component.klass("Widget", "W")
+    widget.attr("w_id", "unique_id")
+    widget.attr("count", "integer")
+    widget.attr("ratio", "real")
+    widget.attr("label", "string")
+    widget.attr("mode", "Mode")
+    widget.attr("armed", "boolean")
+    widget.event("W1", params=[("amount", "integer")])
+    widget.event("W2", params=[("amount", "integer"), ("note", "string")])
+    widget.event("W3")
+    widget.state("Idle", 1)
+    widget.state("Active", 2)
+    widget.trans("Idle", "W1", "Active")
+    widget.trans("Idle", "W2", "Active")
+    widget.trans("Active", "W3", "Idle")
+    widget.operation("bump", body="return param.x + 1;",
+                     returns="integer", params=[("x", "integer")])
+    widget.operation("census", body="""
+        select many ws from instances of W;
+        return cardinality ws;
+    """, instance_based=False, returns="integer")
+
+    gadget = component.klass("Gadget", "G")
+    gadget.attr("g_id", "unique_id")
+    gadget.attr("size", "integer")
+    gadget.event("G1", params=[("n", "integer")])
+    gadget.state("Only", 1)
+    gadget.trans("Only", "G1", "Only")
+
+    component.assoc("R1", ("W", "owns", "1"), ("G", "is owned by", "*"))
+    component.assoc("R2", ("W", "manages", "0..1"),
+                    ("W", "is managed by", "*"))
+    return builder.build(check=False)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return fixture_model()
+
+
+def analyze(model, text, state_name="Active", class_key="W"):
+    component = model.component("c")
+    klass = component.klass(class_key)
+    state = klass.statemachine.state(state_name)
+    return analyze_activity(
+        parse_activity(text), model, component, klass, state)
+
+
+class TestVariableTyping:
+    def test_assignment_binds_type(self, model):
+        analysis = analyze(model, "x = 1; y = x + 2;")
+        assert analysis.variable_types["x"] is CoreType.INTEGER
+
+    def test_rebind_to_other_type_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, 'x = 1; x = "s";')
+
+    def test_int_widens_into_real_variable(self, model):
+        analysis = analyze(model, "x = 1.5; x = 2;")
+        assert analysis.variable_types["x"] is CoreType.REAL
+
+    def test_use_before_assignment_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "y = x + 1;")
+
+    def test_select_binds_ref_and_set_types(self, model):
+        analysis = analyze(model, """
+            select any one_w from instances of W;
+            select many all_g from instances of G;
+        """)
+        assert analysis.variable_types["one_w"] == InstRefType("W")
+        assert analysis.variable_types["all_g"] == InstSetType("G")
+
+    def test_foreach_binds_element_type(self, model):
+        analysis = analyze(model, """
+            select many gs from instances of G;
+            for each g in gs
+                n = g.size;
+            end for;
+        """)
+        assert analysis.variable_types["g"] == InstRefType("G")
+
+
+class TestAttributeRules:
+    def test_self_attribute_types(self, model):
+        analysis = analyze(model, "self.count = self.count + 1;")
+        assert analysis.variable_types == {}
+
+    def test_unknown_attribute_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "self.ghost = 1;")
+
+    def test_type_mismatch_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "self.count = true;")
+
+    def test_enum_assignment(self, model):
+        analyze(model, "self.mode = Mode::ON;")
+
+    def test_unknown_enumerator_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "self.mode = Mode::BROKEN;")
+
+    def test_attribute_on_set_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, """
+                select many gs from instances of G;
+                n = gs.size;
+            """)
+
+
+class TestEventParameters:
+    def test_shared_params_across_entering_events(self, model):
+        klass = model.component("c").klass("W")
+        state = klass.statemachine.state("Active")
+        shared = shared_event_parameters(klass, state)
+        # W1 and W2 both enter Active; only 'amount' is common
+        assert set(shared) == {"amount"}
+
+    def test_shared_param_usable(self, model):
+        analyze(model, "self.count = param.amount;")
+
+    def test_unshared_param_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "self.label = param.note;")
+
+    def test_initial_state_has_no_params(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "x = param.amount;", state_name="Idle")
+
+
+class TestGenerateRules:
+    def test_generate_to_self_resolves_class(self, model):
+        analysis = analyze(model, "generate W3:W() to self;")
+        assert list(analysis.generate_classes.values()) == ["W"]
+
+    def test_generate_args_must_match(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "generate W1:W() to self;")           # missing
+        with pytest.raises(AnalysisError):
+            analyze(model, "generate W3:W(x: 1) to self;")       # extra
+
+    def test_generate_arg_type_checked(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, 'generate W1:W(amount: "no") to self;')
+
+    def test_generate_scope_mismatch_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, """
+                select any g from instances of G;
+                generate W3:W() to g;
+            """)
+
+    def test_generate_via_target_type(self, model):
+        analysis = analyze(model, """
+            select any g from instances of G;
+            generate G1(n: 1) to g;
+        """)
+        assert "G" in analysis.generate_classes.values()
+
+    def test_delay_must_be_numeric(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, 'generate W3:W() to self delay "soon";')
+
+    def test_unknown_event_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "generate W99:W() to self;")
+
+
+class TestNavigationRules:
+    def test_single_hop(self, model):
+        analysis = analyze(model, "select many gs related by self->G[R1];")
+        assert analysis.variable_types["gs"] == InstSetType("G")
+
+    def test_unknown_association_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "select many gs related by self->G[R9];")
+
+    def test_non_participant_hop_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "select many gs related by self->G[R2];")
+
+    def test_reflexive_hop_needs_phrase(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "select one boss related by self->W[R2];")
+        analyze(model, "select one boss related by self->W[R2.'manages'];")
+
+    def test_where_selected_typed_by_target_class(self, model):
+        analyze(model, """
+            select many gs related by self->G[R1]
+                where (selected.size > 0);
+        """)
+
+    def test_selected_outside_where_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "x = selected;")
+
+
+class TestRelateRules:
+    def test_relate_participants_checked(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, """
+                select any w from instances of W;
+                relate w to w across R1;
+            """)
+
+    def test_reflexive_relate_needs_phrase(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, """
+                select any a from instances of W;
+                relate self to a across R2;
+            """)
+
+    def test_valid_relate(self, model):
+        analyze(model, """
+            select any g from instances of G;
+            relate self to g across R1;
+        """)
+
+
+class TestCallsAndControl:
+    def test_bridge_signature_checked(self, model):
+        analyze(model, 'LOG::info(message: "x");')
+        with pytest.raises(AnalysisError):
+            analyze(model, 'LOG::info(text: "x");')
+        with pytest.raises(AnalysisError):
+            analyze(model, 'LOG::info(message: 3);')
+
+    def test_unknown_bridge_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, 'LOG::warn(message: "x");')
+
+    def test_class_operation_call(self, model):
+        analyze(model, "n = W::census();")
+
+    def test_instance_operation_on_class_syntax_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "n = W::bump(x: 1);")
+
+    def test_instance_operation_call(self, model):
+        analyze(model, "n = self.bump(x: 2);")
+
+    def test_class_operation_on_instance_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "n = self.census();")
+
+    def test_condition_must_be_boolean(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "if (1) x = 1; end if;")
+
+    def test_foreach_needs_a_set(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, """
+                select any w from instances of W;
+                for each item in w
+                    x = 1;
+                end for;
+            """)
+
+    def test_return_value_in_state_activity_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "return 3;")
+
+    def test_modulo_requires_integers(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "x = 1.5 % 2;")
+
+    def test_string_concat_allowed(self, model):
+        analyze(model, 'self.label = "a" + "b";')
+
+    def test_string_plus_number_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, 'x = "a" + 1;')
+
+    def test_comparison_of_mixed_types_rejected(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, 'x = 1 == "one";')
+
+    def test_cardinality_needs_instances(self, model):
+        with pytest.raises(AnalysisError):
+            analyze(model, "x = cardinality 5;")

@@ -1,0 +1,163 @@
+"""Pretty-printer tests, including the parse/print round-trip property."""
+
+import dataclasses
+
+from hypothesis import given, strategies as st
+
+from repro.oal import (
+    ast,
+    parse_activity,
+    parse_expression,
+    print_activity,
+    print_expression,
+)
+
+
+def strip_positions(node):
+    """Structural equality helper: rebuild the tree with zeroed positions."""
+    if isinstance(node, tuple):
+        return tuple(strip_positions(item) for item in node)
+    if isinstance(node, ast.Block):
+        return ast.Block(strip_positions(node.statements))
+    if dataclasses.is_dataclass(node):
+        values = {}
+        for field in dataclasses.fields(node):
+            if field.name in ("line", "column"):
+                values[field.name] = 0
+            else:
+                values[field.name] = strip_positions(getattr(node, field.name))
+        return type(node)(**values)
+    return node
+
+
+def roundtrips(text: str) -> bool:
+    tree = parse_activity(text)
+    printed = print_activity(tree)
+    reparsed = parse_activity(printed)
+    return strip_positions(tree) == strip_positions(reparsed)
+
+
+class TestStatementRoundTrips:
+    def test_every_statement_form(self):
+        activity = """
+            x = 1;
+            self.count = x + 2;
+            create object instance it of IT;
+            it.rank = 3;
+            delete object instance it;
+            select any one_w from instances of W;
+            select many ws from instances of W where (selected.n > 0);
+            select one peer related by self->W[R2.'manages'];
+            select many gs related by self->G[R1]->W[R2.'manages']
+                where (selected.n == 1);
+            relate self to one_w across R2.'manages';
+            unrelate self from one_w across R2.'manages';
+            generate W1:W(amount: 5) to self;
+            generate G1(n: 2) to one_w delay 100;
+            generate J0:J(job_id: 7);
+            if (x > 0)
+                x = x - 1;
+            elif (x < 0)
+                x = x + 1;
+            else
+                x = 0;
+            end if;
+            while (x < 10)
+                x = x + 1;
+                if (x == 5)
+                    break;
+                else
+                    continue;
+                end if;
+            end while;
+            for each g in ws
+                x = x + 1;
+            end for;
+            LOG::info(message: "done");
+            return;
+        """
+        assert roundtrips(activity)
+
+    def test_printed_text_is_stable(self):
+        text = "x = 1 + 2 * 3;\n"
+        tree = parse_activity(text)
+        printed = print_activity(tree)
+        assert print_activity(parse_activity(printed)) == printed
+
+    def test_empty_block(self):
+        assert print_activity(parse_activity("")) == ""
+
+
+class TestExpressionPrinting:
+    def test_precedence_preserved_without_extra_parens(self):
+        assert print_expression(parse_expression("1 + 2 * 3")) == "1 + 2 * 3"
+        assert print_expression(
+            parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_not_and_precedence(self):
+        assert print_expression(
+            parse_expression("not a and b")) == "not a and b"
+        assert print_expression(
+            parse_expression("not (a and b)")) == "not (a and b)"
+
+    def test_unary_minus(self):
+        assert print_expression(parse_expression("-x + 1")) == "-x + 1"
+        assert print_expression(parse_expression("-(x + 1)")) == "-(x + 1)"
+
+    def test_string_escapes(self):
+        source = r'"line\nbreak \"quoted\""'
+        printed = print_expression(parse_expression(source))
+        assert printed == source
+
+    def test_cardinality_forms(self):
+        assert print_expression(
+            parse_expression("cardinality things")) == "cardinality things"
+        assert print_expression(
+            parse_expression("empty x == false")) == "empty x == false"
+
+
+# ---------------------------------------------------------------------------
+# property: random expression trees survive print -> parse
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "bee", "c3", "delta"])
+
+_leaf = st.one_of(
+    st.integers(0, 10_000).map(lambda v: ast.IntLit(v)),
+    st.floats(0.0, 100.0, allow_nan=False).map(lambda v: ast.RealLit(v)),
+    st.booleans().map(lambda v: ast.BoolLit(v)),
+    _names.map(lambda n: ast.NameRef(n)),
+    st.just(ast.SelfRef()),
+    _names.map(lambda n: ast.ParamRef(n)),
+    st.text(
+        alphabet=st.characters(
+            codec="ascii", exclude_characters='"\\\n\t\r',
+            exclude_categories=("Cc",)),
+        max_size=12,
+    ).map(lambda s: ast.StringLit(s)),
+)
+
+
+def _grow(children):
+    binary = st.tuples(
+        st.sampled_from(["+", "-", "*", "/", "%", "==", "!=", "<", "<=",
+                         ">", ">=", "and", "or"]),
+        children, children,
+    ).map(lambda t: ast.Binary(t[0], t[1], t[2]))
+    unary = st.tuples(
+        st.sampled_from(["-", "not", "cardinality", "empty", "not_empty"]),
+        children,
+    ).map(lambda t: ast.Unary(t[0], t[1]))
+    attr = st.tuples(children, _names).map(
+        lambda t: ast.AttrAccess(t[0], t[1]))
+    return st.one_of(binary, unary, attr)
+
+
+_expr_trees = st.recursive(_leaf, _grow, max_leaves=20)
+
+
+@given(_expr_trees)
+def test_expression_print_parse_roundtrip(tree):
+    printed = print_expression(tree)
+    reparsed = parse_expression(printed)
+    assert strip_positions(reparsed) == strip_positions(tree)

@@ -1,0 +1,55 @@
+"""Ablations: the profile's queue rules are load-bearing, not decoration.
+
+DESIGN.md calls out the self-directed-event priority rule for ablation.
+The packet-processor MAC relies on it: its M2/M3 pipeline steps must
+outrank queued M1 packets or a back-to-back burst hits ``Checking`` with
+an unexpected M1.  These tests show the rule's absence breaks a
+well-formed model, and its presence is exactly what fixes it.
+"""
+
+import pytest
+
+from repro.models import build_packetproc_model, packetproc
+from repro.runtime import CantHappenError, Simulation
+
+
+def burst(sim, packets=3):
+    handles = packetproc.populate(sim)
+    # back-to-back: every M1 is queued before the MAC dispatches any
+    packetproc.inject_packets(sim, handles["M"], packets, length=64,
+                              spacing=0)
+    return handles
+
+
+class TestSelfPriorityAblation:
+    def test_with_rule_bursts_are_fine(self):
+        sim = Simulation(build_packetproc_model())
+        handles = burst(sim)
+        sim.run_to_quiescence()
+        assert sim.read_attribute(handles["ST"], "packets") == 3
+
+    def test_without_rule_the_model_breaks(self):
+        sim = Simulation(build_packetproc_model(), self_priority=False)
+        burst(sim)
+        with pytest.raises(CantHappenError):
+            sim.run_to_quiescence()
+
+    def test_without_rule_single_packets_still_work(self):
+        # with one packet in flight there is nothing to outrank, so the
+        # ablated queue behaves identically — the rule matters exactly
+        # when concurrency does
+        sim = Simulation(build_packetproc_model(), self_priority=False)
+        handles = packetproc.populate(sim)
+        packetproc.inject_packets(sim, handles["M"], 1, length=64)
+        sim.run_to_quiescence()
+        assert sim.read_attribute(handles["ST"], "packets") == 1
+
+    def test_spaced_arrivals_mask_the_ablation(self):
+        # generous spacing lets each packet drain before the next lands;
+        # the bug is a race, and races need load
+        sim = Simulation(build_packetproc_model(), self_priority=False)
+        handles = packetproc.populate(sim)
+        packetproc.inject_packets(sim, handles["M"], 3, length=64,
+                                  spacing=10_000)
+        sim.run_to_quiescence()
+        assert sim.read_attribute(handles["ST"], "packets") == 3

@@ -1,0 +1,145 @@
+"""Unit tests for instance populations and link storage."""
+
+import pytest
+
+from repro.runtime import (
+    DeadInstanceError,
+    LinkStore,
+    MultiplicityError,
+    Population,
+    SimulationError,
+)
+from repro.xuml import ModelBuilder
+
+
+def component():
+    builder = ModelBuilder("M")
+    c = builder.component("c")
+    widget = c.klass("Widget", "W")
+    widget.attr("w_id", "unique_id")
+    widget.attr("count", "integer", default=5)
+    c.klass("Gadget", "G").attr("g_id", "unique_id")
+    c.klass("Person", "P").attr("p_id", "unique_id")
+    c.assoc("R1", ("W", "owns", "1"), ("G", "is owned by", "*"))
+    c.assoc("R2", ("P", "manages", "0..1"), ("P", "is managed by", "*"))
+    model = builder.build(check=False)
+    return model.component("c")
+
+
+class TestPopulation:
+    def test_create_applies_defaults(self):
+        pop = Population(component().klass("W"))
+        instance = pop.create(1)
+        assert instance.attributes == {"w_id": 0, "count": 5}
+        assert instance.current_state is None    # passive class
+
+    def test_get_and_has(self):
+        pop = Population(component().klass("W"))
+        pop.create(3)
+        assert pop.has(3)
+        assert pop.get(3).handle == 3
+        assert not pop.has(4)
+
+    def test_delete_marks_dead(self):
+        pop = Population(component().klass("W"))
+        instance = pop.create(1)
+        pop.delete(1)
+        assert not instance.alive
+        with pytest.raises(DeadInstanceError):
+            instance.get("count")
+        with pytest.raises(DeadInstanceError):
+            pop.get(1)
+
+    def test_double_delete_raises(self):
+        pop = Population(component().klass("W"))
+        pop.create(1)
+        pop.delete(1)
+        with pytest.raises(DeadInstanceError):
+            pop.delete(1)
+
+    def test_unknown_attribute_access(self):
+        pop = Population(component().klass("W"))
+        instance = pop.create(1)
+        with pytest.raises(SimulationError):
+            instance.get("ghost")
+        with pytest.raises(SimulationError):
+            instance.set("ghost", 1)
+
+    def test_creation_order_preserved(self):
+        pop = Population(component().klass("W"))
+        pop.create(2)
+        pop.create(1)
+        assert [i.handle for i in pop.all()] == [2, 1]
+
+
+class TestLinkStore:
+    def setup_method(self):
+        self.component = component()
+        self.links = LinkStore(self.component)
+        self.r1 = self.component.association("R1")
+        self.r2 = self.component.association("R2")
+
+    def test_relate_and_navigate_both_directions(self):
+        self.links.relate(self.r1, 1, "W", 2, "G")
+        assert self.links.navigate(self.r1, 1, "W", "G") == (2,)
+        assert self.links.navigate(self.r1, 2, "G", "W") == (1,)
+
+    def test_one_end_multiplicity_enforced(self):
+        # each G sees exactly 1 W: relating a second W to the same G fails
+        self.links.relate(self.r1, 1, "W", 2, "G")
+        with pytest.raises(MultiplicityError):
+            self.links.relate(self.r1, 3, "W", 2, "G")
+
+    def test_many_end_accepts_several(self):
+        self.links.relate(self.r1, 1, "W", 2, "G")
+        self.links.relate(self.r1, 1, "W", 3, "G")
+        assert self.links.navigate(self.r1, 1, "W", "G") == (2, 3)
+
+    def test_relate_is_idempotent(self):
+        self.links.relate(self.r1, 1, "W", 2, "G")
+        self.links.relate(self.r1, 1, "W", 2, "G")
+        assert self.links.count("R1") == 1
+
+    def test_unrelate(self):
+        self.links.relate(self.r1, 1, "W", 2, "G")
+        self.links.unrelate(self.r1, 1, "W", 2, "G")
+        assert self.links.navigate(self.r1, 1, "W", "G") == ()
+
+    def test_unrelate_missing_link_raises(self):
+        with pytest.raises(SimulationError):
+            self.links.unrelate(self.r1, 1, "W", 2, "G")
+
+    def test_reflexive_needs_phrase(self):
+        with pytest.raises(SimulationError):
+            self.links.relate(self.r2, 1, "P", 2, "P")
+        self.links.relate(self.r2, 1, "P", 2, "P", phrase="is managed by")
+
+    def test_reflexive_navigation_by_phrase(self):
+        # 1 manages 2: "2 is managed by 1"
+        self.links.relate(self.r2, 1, "P", 2, "P", phrase="is managed by")
+        assert self.links.navigate(
+            self.r2, 1, "P", "P", phrase="is managed by") == (2,)
+        assert self.links.navigate(
+            self.r2, 2, "P", "P", phrase="manages") == (1,)
+
+    def test_reflexive_upper_bound(self):
+        # a person has at most one manager (manages end is 0..1)
+        self.links.relate(self.r2, 1, "P", 3, "P", phrase="is managed by")
+        with pytest.raises(MultiplicityError):
+            self.links.relate(self.r2, 2, "P", 3, "P",
+                              phrase="is managed by")
+
+    def test_drop_instance_clears_all_links(self):
+        self.links.relate(self.r1, 1, "W", 2, "G")
+        self.links.relate(self.r1, 1, "W", 3, "G")
+        self.links.drop_instance(1)
+        assert self.links.navigate(self.r1, 2, "G", "W") == ()
+        assert self.links.count("R1") == 0
+
+    def test_integrity_violations_for_unconditional_end(self):
+        # every G must have a W (the W end is mult 1)
+        populations = {"W": [1], "G": [2], "P": []}
+        violations = self.links.integrity_violations(populations)
+        assert any("G#2" in v for v in violations)
+        self.links.relate(self.r1, 1, "W", 2, "G")
+        assert self.links.integrity_violations(populations) == []

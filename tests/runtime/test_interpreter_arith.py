@@ -1,0 +1,50 @@
+"""C arithmetic semantics shared by the abstract and target runtimes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import c_div, c_mod
+from repro.oal.errors import OALRuntimeError
+
+
+class TestCDiv:
+    @pytest.mark.parametrize("a,b,expected", [
+        (7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3),
+        (6, 3, 2), (0, 5, 0), (1, 2, 0), (-1, 2, 0),
+    ])
+    def test_truncates_toward_zero(self, a, b, expected):
+        assert c_div(a, b) == expected
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(OALRuntimeError):
+            c_div(1, 0)
+
+
+class TestCMod:
+    @pytest.mark.parametrize("a,b,expected", [
+        (7, 2, 1), (-7, 2, -1), (7, -2, 1), (-7, -2, -1),
+        (6, 3, 0), (0, 5, 0),
+    ])
+    def test_sign_follows_dividend(self, a, b, expected):
+        assert c_mod(a, b) == expected
+
+    def test_remainder_by_zero_raises(self):
+        with pytest.raises(OALRuntimeError):
+            c_mod(1, 0)
+
+
+class TestCSemantics:
+    @given(st.integers(-10**9, 10**9),
+           st.integers(-10**9, 10**9).filter(lambda v: v != 0))
+    def test_euclid_identity(self, a, b):
+        assert c_div(a, b) * b + c_mod(a, b) == a
+
+    @given(st.integers(-10**6, 10**6),
+           st.integers(-10**6, 10**6).filter(lambda v: v != 0))
+    def test_remainder_magnitude_bounded(self, a, b):
+        assert abs(c_mod(a, b)) < abs(b)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**9))
+    def test_matches_python_for_non_negative(self, a, b):
+        assert c_div(a, b) == a // b
+        assert c_mod(a, b) == a % b

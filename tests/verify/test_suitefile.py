@@ -1,0 +1,69 @@
+"""Suite-file round trips and the CLI workflow over model+suite files."""
+
+import pytest
+
+from repro.cli import main
+from repro.models import build_microwave_model
+from repro.verify import (
+    SuiteFileError,
+    check_conformance,
+    suite_for,
+    suite_from_dict,
+    suite_from_json,
+    suite_to_dict,
+    suite_to_json,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["microwave", "elevator", "checksum"])
+    def test_catalog_suites_roundtrip(self, name):
+        cases = suite_for(name)
+        data = suite_to_dict(cases)
+        rebuilt = suite_from_dict(data)
+        assert suite_to_dict(rebuilt) == data
+        assert [c.name for c in rebuilt] == [c.name for c in cases]
+        for original, copy in zip(cases, rebuilt):
+            assert copy.steps == original.steps
+
+    def test_rebuilt_suite_still_conformant(self):
+        cases = suite_from_json(suite_to_json(suite_for("microwave")))
+        report = check_conformance(build_microwave_model(), cases)
+        assert report.conformant
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SuiteFileError):
+            suite_from_dict({"format": 9, "cases": []})
+
+    def test_unknown_step_rejected(self):
+        with pytest.raises(SuiteFileError):
+            suite_from_dict({
+                "format": 1,
+                "cases": [{"name": "x", "steps": [{"do": "teleport"}]}],
+            })
+
+
+class TestCliWorkflow:
+    def test_export_then_run(self, tmp_path, capsys):
+        model_file = tmp_path / "model.json"
+        suite_file = tmp_path / "suite.json"
+        assert main(["export", "microwave", "-o", str(model_file)]) == 0
+        assert main(["export-suite", "microwave",
+                     "-o", str(suite_file)]) == 0
+        assert main(["run-suite", str(model_file), str(suite_file)]) == 0
+        assert "CONFORMANT" in capsys.readouterr().out
+
+    def test_run_suite_fails_on_divergence(self, tmp_path, capsys):
+        import json
+        model_file = tmp_path / "model.json"
+        suite_file = tmp_path / "suite.json"
+        main(["export", "microwave", "-o", str(model_file)])
+        main(["export-suite", "microwave", "-o", str(suite_file)])
+        # sabotage the model: the first cook second never elapses
+        data = json.loads(model_file.read_text())
+        for klass in data["components"][0]["classes"]:
+            for state in klass["statemachine"]["states"]:
+                state["activity"] = state["activity"].replace(
+                    "self.cycles_run + 1", "self.cycles_run + 2")
+        model_file.write_text(json.dumps(data))
+        assert main(["run-suite", str(model_file), str(suite_file)]) == 1

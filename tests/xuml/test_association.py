@@ -1,0 +1,85 @@
+"""Unit tests for associations and multiplicities."""
+
+import pytest
+
+from repro.xuml import Association, AssociationEnd, Multiplicity
+
+
+def heats() -> Association:
+    return Association(
+        "R1",
+        AssociationEnd("MO", "is powered by", Multiplicity.ONE),
+        AssociationEnd("PT", "energizes", Multiplicity.ZERO_ONE),
+    )
+
+
+def manages() -> Association:
+    return Association(
+        "R2",
+        AssociationEnd("P", "manages", Multiplicity.ZERO_MANY),
+        AssociationEnd("P", "is managed by", Multiplicity.ZERO_ONE),
+    )
+
+
+class TestMultiplicity:
+    @pytest.mark.parametrize("mult,many,conditional,lower", [
+        (Multiplicity.ONE, False, False, 1),
+        (Multiplicity.ZERO_ONE, False, True, 0),
+        (Multiplicity.MANY, True, False, 1),
+        (Multiplicity.ZERO_MANY, True, True, 0),
+    ])
+    def test_properties(self, mult, many, conditional, lower):
+        assert mult.is_many is many
+        assert mult.is_conditional is conditional
+        assert mult.lower == lower
+
+
+class TestAssociation:
+    def test_number_format_enforced(self):
+        with pytest.raises(ValueError):
+            Association(
+                "X1",
+                AssociationEnd("A", "x", Multiplicity.ONE),
+                AssociationEnd("B", "y", Multiplicity.ONE),
+            )
+
+    def test_end_for_by_class(self):
+        assoc = heats()
+        assert assoc.end_for("MO").phrase == "is powered by"
+        assert assoc.end_for("PT").phrase == "energizes"
+
+    def test_end_for_unknown_class_raises(self):
+        with pytest.raises(KeyError):
+            heats().end_for("XX")
+
+    def test_end_for_with_wrong_phrase_raises(self):
+        with pytest.raises(KeyError):
+            heats().end_for("MO", "energizes")
+
+    def test_reflexive_requires_phrase(self):
+        assoc = manages()
+        assert assoc.is_reflexive
+        with pytest.raises(KeyError):
+            assoc.end_for("P")
+
+    def test_reflexive_phrase_disambiguates(self):
+        assoc = manages()
+        assert assoc.end_for("P", "manages").mult is Multiplicity.ZERO_MANY
+        assert assoc.end_for("P", "is managed by").mult is Multiplicity.ZERO_ONE
+
+    def test_opposite(self):
+        assoc = heats()
+        mo_end = assoc.end_for("MO")
+        assert assoc.opposite(mo_end).class_key == "PT"
+
+    def test_participants_include_link_class(self):
+        assoc = Association(
+            "R3",
+            AssociationEnd("A", "x", Multiplicity.MANY),
+            AssociationEnd("B", "y", Multiplicity.MANY),
+            link_class_key="AB",
+        )
+        assert assoc.participants() == ("A", "B", "AB")
+
+    def test_non_reflexive_participants(self):
+        assert heats().participants() == ("MO", "PT")

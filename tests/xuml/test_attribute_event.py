@@ -1,0 +1,81 @@
+"""Unit tests for attributes, identifiers and event specs."""
+
+import pytest
+
+from repro.xuml import Attribute, CoreType, EventParameter, EventSpec, Identifier
+
+
+class TestAttribute:
+    def test_initial_value_prefers_explicit_default(self):
+        attr = Attribute("watts", CoreType.INTEGER, default=900)
+        assert attr.initial_value == 900
+
+    def test_initial_value_falls_back_to_type_default(self):
+        assert Attribute("count", CoreType.INTEGER).initial_value == 0
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("not a name", CoreType.INTEGER)
+
+    def test_derived_and_referential_conflict(self):
+        with pytest.raises(ValueError):
+            Attribute("x", CoreType.INTEGER, referential="R1",
+                      derived="1 + 1")
+
+    def test_referential_records_association(self):
+        attr = Attribute("oven_id", CoreType.UNIQUE_ID, referential="R1")
+        assert attr.referential == "R1"
+
+
+class TestIdentifier:
+    def test_first_identifier_is_preferred(self):
+        assert Identifier(1, ("oven_id",)).label == "*"
+        assert Identifier(2, ("name",)).label == "I2"
+
+    def test_zero_number_rejected(self):
+        with pytest.raises(ValueError):
+            Identifier(0, ("x",))
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(ValueError):
+            Identifier(1, ())
+
+    def test_repeated_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            Identifier(1, ("a", "a"))
+
+    def test_composite_identifier(self):
+        ident = Identifier(2, ("bank", "floor"))
+        assert ident.attribute_names == ("bank", "floor")
+
+
+class TestEventSpec:
+    def test_parameter_lookup(self):
+        spec = EventSpec("MO1", "cook", (
+            EventParameter("seconds", CoreType.INTEGER),))
+        assert spec.parameter("seconds").dtype is CoreType.INTEGER
+        assert spec.parameter_names == ("seconds",)
+
+    def test_unknown_parameter_raises(self):
+        spec = EventSpec("MO1")
+        with pytest.raises(KeyError):
+            spec.parameter("nope")
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(ValueError):
+            EventSpec("MO1", parameters=(
+                EventParameter("x", CoreType.INTEGER),
+                EventParameter("x", CoreType.REAL),
+            ))
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError):
+            EventSpec("not a label")
+
+    def test_bad_parameter_name_rejected(self):
+        with pytest.raises(ValueError):
+            EventParameter("9bad", CoreType.INTEGER)
+
+    def test_creation_flag_defaults_false(self):
+        assert EventSpec("EV1").creation is False
+        assert EventSpec("EV2", creation=True).creation is True

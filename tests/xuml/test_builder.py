@@ -1,0 +1,121 @@
+"""Unit tests for the fluent model builder."""
+
+import pytest
+
+from repro.xuml import (
+    CoreType,
+    EnumType,
+    InstRefType,
+    InstSetType,
+    ModelBuilder,
+    Multiplicity,
+    WellFormednessError,
+    parse_multiplicity,
+)
+
+
+class TestMultiplicityParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("1", Multiplicity.ONE),
+        ("1..1", Multiplicity.ONE),
+        ("0..1", Multiplicity.ZERO_ONE),
+        ("*", Multiplicity.ZERO_MANY),
+        ("0..*", Multiplicity.ZERO_MANY),
+        ("1..*", Multiplicity.MANY),
+    ])
+    def test_spellings(self, text, expected):
+        assert parse_multiplicity(text) is expected
+
+    def test_unknown_spelling_rejected(self):
+        with pytest.raises(ValueError):
+            parse_multiplicity("2..4")
+
+
+class TestBuilder:
+    def test_type_names_resolve_lazily(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        klass = component.klass("Widget", "W")
+        klass.attr("mode", "Mode")            # enum declared *after* use
+        component.enum("Mode", ["OFF", "ON"])
+        model = builder.build(check=False)
+        attribute = model.resolve_class("c.W").attribute("mode")
+        assert isinstance(attribute.dtype, EnumType)
+        assert attribute.dtype.enumerators == ("OFF", "ON")
+
+    def test_inst_ref_type_spellings(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        klass = component.klass("Widget", "W")
+        klass.attr("peer", "inst_ref<W>")
+        klass.attr("peers", "inst_ref_set<W>")
+        model = builder.build(check=False)
+        widget = model.resolve_class("c.W")
+        assert widget.attribute("peer").dtype == InstRefType("W")
+        assert widget.attribute("peers").dtype == InstSetType("W")
+
+    def test_unknown_type_name_rejected_at_build(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        component.klass("Widget", "W").attr("x", "mystery")
+        with pytest.raises(ValueError):
+            builder.build(check=False)
+
+    def test_event_params_resolve(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        component.enum("Mode", ["OFF", "ON"])
+        klass = component.klass("Widget", "W")
+        klass.event("W1", params=[("mode", "Mode"), ("n", "integer")])
+        model = builder.build(check=False)
+        event = model.resolve_class("c.W").event("W1")
+        assert isinstance(event.parameter("mode").dtype, EnumType)
+        assert event.parameter("n").dtype is CoreType.INTEGER
+
+    def test_class_numbers_auto_increment(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        component.klass("A", "A")
+        component.klass("B", "B")
+        model = builder.build(check=False)
+        assert model.resolve_class("c.A").number == 1
+        assert model.resolve_class("c.B").number == 2
+
+    def test_explicit_number_respected(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        component.klass("A", "A", number=7)
+        component.klass("B", "B")
+        model = builder.build(check=False)
+        assert model.resolve_class("c.B").number == 8
+
+    def test_strict_build_raises_on_errors(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        klass = component.klass("Widget", "W")
+        klass.event("W1")
+        klass.state("S", 1)
+        klass.trans("S", "W_NOPE", "S")       # undeclared event
+        with pytest.raises(WellFormednessError):
+            builder.build()
+
+    def test_initial_override(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        klass = component.klass("Widget", "W")
+        klass.event("W1")
+        klass.state("A", 1).state("B", 2).initial("B")
+        klass.trans("B", "W1", "A")
+        model = builder.build(check=False)
+        assert model.resolve_class("c.W").statemachine.initial_state == "B"
+
+    def test_operation_definition(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        klass = component.klass("Widget", "W")
+        klass.operation("double_it", body="return param.x * 2;",
+                        returns="integer", params=[("x", "integer")])
+        model = builder.build(check=False)
+        operation = model.resolve_class("c.W").operation("double_it")
+        assert operation.returns is CoreType.INTEGER
+        assert operation.parameters[0].name == "x"

@@ -1,0 +1,105 @@
+"""Unit tests for the profile's type system."""
+
+import pytest
+
+from repro.xuml import (
+    CoreType,
+    EnumType,
+    InstRefType,
+    InstSetType,
+    TypeRegistry,
+    bit_width,
+    default_value,
+)
+
+
+class TestEnumType:
+    def test_enumerator_codes_follow_declaration_order(self):
+        door = EnumType("DoorState", ("CLOSED", "OPEN", "AJAR"))
+        assert door.code_of("CLOSED") == 0
+        assert door.code_of("OPEN") == 1
+        assert door.code_of("AJAR") == 2
+
+    def test_unknown_enumerator_raises(self):
+        door = EnumType("DoorState", ("CLOSED", "OPEN"))
+        with pytest.raises(KeyError):
+            door.code_of("MISSING")
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(ValueError):
+            EnumType("Empty", ())
+
+    def test_duplicate_enumerators_rejected(self):
+        with pytest.raises(ValueError):
+            EnumType("Dup", ("A", "A"))
+
+    def test_str_is_type_name(self):
+        assert str(EnumType("Mode", ("A",))) == "Mode"
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("dtype,expected", [
+        (CoreType.INTEGER, 0),
+        (CoreType.REAL, 0.0),
+        (CoreType.BOOLEAN, False),
+        (CoreType.STRING, ""),
+        (CoreType.UNIQUE_ID, 0),
+        (CoreType.TIMESTAMP, 0),
+    ])
+    def test_core_defaults(self, dtype, expected):
+        assert default_value(dtype) == expected
+
+    def test_enum_defaults_to_first_enumerator(self):
+        mode = EnumType("Mode", ("OFF", "ON"))
+        assert default_value(mode) == "OFF"
+
+    def test_inst_ref_defaults_to_none(self):
+        assert default_value(InstRefType("MO")) is None
+
+    def test_inst_set_defaults_to_empty(self):
+        assert default_value(InstSetType("MO")) == ()
+
+
+class TestBitWidth:
+    def test_scalar_widths(self):
+        assert bit_width(CoreType.INTEGER) == 32
+        assert bit_width(CoreType.REAL) == 64
+        assert bit_width(CoreType.BOOLEAN) == 1
+        assert bit_width(CoreType.TIMESTAMP) == 64
+
+    def test_enum_width_covers_enumerator_count(self):
+        two = EnumType("Two", ("A", "B"))
+        five = EnumType("Five", tuple("ABCDE"))
+        assert bit_width(two) == 1
+        assert bit_width(five) == 3
+
+    def test_single_enumerator_enum_still_one_bit(self):
+        assert bit_width(EnumType("One", ("A",))) == 1
+
+    def test_handles_are_32_bits(self):
+        assert bit_width(InstRefType("X")) == 32
+        assert bit_width(InstSetType("X")) == 32
+
+
+class TestTypeRegistry:
+    def test_define_and_lookup(self):
+        registry = TypeRegistry()
+        registry.define_enum("Mode", ("OFF", "ON"))
+        assert registry.enum("Mode").enumerators == ("OFF", "ON")
+        assert "Mode" in registry
+
+    def test_duplicate_definition_rejected(self):
+        registry = TypeRegistry()
+        registry.define_enum("Mode", ("OFF",))
+        with pytest.raises(ValueError):
+            registry.define_enum("Mode", ("ON",))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            TypeRegistry().enum("Nope")
+
+    def test_enums_listing_in_definition_order(self):
+        registry = TypeRegistry()
+        registry.define_enum("B", ("X",))
+        registry.define_enum("A", ("Y",))
+        assert [e.name for e in registry.enums] == ["B", "A"]

@@ -1,0 +1,87 @@
+"""Round-trip tests for model serialization."""
+
+import json
+
+import pytest
+
+from repro.models import all_models, microwave
+from repro.runtime import Simulation
+from repro.xuml import (
+    SerializationError,
+    check_model,
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+    model_to_json,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["microwave", "trafficlight",
+                                      "packetproc", "elevator", "checksum"])
+    def test_dict_roundtrip_is_identity(self, name):
+        model = all_models()[name]
+        first = model_to_dict(model)
+        rebuilt = model_from_dict(first)
+        assert model_to_dict(rebuilt) == first
+
+    @pytest.mark.parametrize("name", ["microwave", "packetproc"])
+    def test_json_roundtrip(self, name):
+        model = all_models()[name]
+        text = model_to_json(model)
+        json.loads(text)                       # is real JSON
+        rebuilt = model_from_json(text)
+        assert model_to_json(rebuilt) == text
+
+    def test_loaded_model_is_well_formed(self):
+        model = model_from_dict(model_to_dict(all_models()["elevator"]))
+        errors = [v for v in check_model(model)
+                  if v.severity.value == "error"]
+        assert errors == []
+
+    def test_loaded_model_executes_identically(self):
+        original = microwave.build_microwave_model()
+        loaded = model_from_dict(model_to_dict(original))
+
+        def run(model):
+            sim = Simulation(model)
+            oven, tube = microwave.populate(sim)
+            sim.inject(oven, "MO1", {"seconds": 3})
+            sim.inject(oven, "MO2", delay=1_500_000)
+            sim.inject(oven, "MO3", delay=4_000_000)
+            sim.run_to_quiescence()
+            return sim.trace.behavioural_summary(), sim.now
+
+        assert run(original) == run(loaded)
+
+
+class TestFormatChecks:
+    def test_version_enforced(self):
+        data = model_to_dict(all_models()["microwave"])
+        data["format"] = 99
+        with pytest.raises(SerializationError):
+            model_from_dict(data)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(SerializationError):
+            model_from_dict({"name": "X"})
+
+    def test_unknown_type_tag_rejected(self):
+        data = model_to_dict(all_models()["microwave"])
+        klass = data["components"][0]["classes"][0]
+        klass["attributes"][0]["type"] = "quaternion"
+        with pytest.raises(SerializationError):
+            model_from_dict(data)
+
+    def test_enum_types_reattach(self):
+        data = model_to_dict(all_models()["microwave"])
+        # add an enum + enum attribute, then reload
+        component = data["components"][0]
+        component["enums"].append(
+            {"name": "Power", "enumerators": ["LOW", "HIGH"]})
+        component["classes"][0]["attributes"].append(
+            {"name": "power", "type": "enum:Power", "default": None,
+             "referential": None, "derived": None})
+        model = model_from_dict(data)
+        attribute = model.resolve_class("control.MO").attribute("power")
+        assert attribute.dtype.enumerators == ("LOW", "HIGH")

@@ -1,0 +1,103 @@
+"""Property: randomly generated models survive serialization exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xuml import (
+    Attribute,
+    Component,
+    CoreType,
+    EventParameter,
+    EventSpec,
+    Model,
+    ModelClass,
+    State,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.xuml.association import Association, AssociationEnd, Multiplicity
+
+_IDENT = st.sampled_from(
+    ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf"])
+_CORE = st.sampled_from(list(CoreType))
+
+
+@st.composite
+def random_models(draw):
+    model = Model("Rand")
+    component = Component("comp")
+    model.add_component(component)
+
+    class_count = draw(st.integers(1, 3))
+    keys = [f"K{i}" for i in range(class_count)]
+    for number, key in enumerate(keys, start=1):
+        klass = ModelClass(f"Class{key}", key, number)
+        component.add_class(klass)
+
+        attr_names = draw(st.lists(_IDENT, unique=True, max_size=4))
+        for attr_name in attr_names:
+            klass.add_attribute(Attribute(attr_name, draw(_CORE)))
+
+        event_count = draw(st.integers(0, 3))
+        labels = [f"{key}E{i}" for i in range(event_count)]
+        for label in labels:
+            param_names = draw(st.lists(_IDENT, unique=True, max_size=2))
+            klass.add_event(EventSpec(label, "", tuple(
+                EventParameter(name, draw(_CORE)) for name in param_names)))
+
+        if labels:
+            state_count = draw(st.integers(1, 3))
+            state_names = [f"S{i}" for i in range(state_count)]
+            for index, state_name in enumerate(state_names, start=1):
+                klass.statemachine.add_state(State(state_name, index))
+            transition_count = draw(st.integers(0, 4))
+            used = set()
+            for _ in range(transition_count):
+                source = draw(st.sampled_from(state_names))
+                label = draw(st.sampled_from(labels))
+                if (source, label) in used:
+                    continue
+                used.add((source, label))
+                klass.statemachine.add_transition(
+                    source, label, draw(st.sampled_from(state_names)))
+            # sprinkle ignore entries on unused pairs
+            for state_name in state_names:
+                for label in labels:
+                    if (state_name, label) in used:
+                        continue
+                    if draw(st.booleans()):
+                        klass.statemachine.set_ignored(state_name, label)
+                        used.add((state_name, label))
+
+    if len(keys) >= 2 and draw(st.booleans()):
+        component.add_association(Association(
+            "R1",
+            AssociationEnd(keys[0], "left of",
+                           draw(st.sampled_from(list(Multiplicity)))),
+            AssociationEnd(keys[1], "right of",
+                           draw(st.sampled_from(list(Multiplicity)))),
+        ))
+    return model
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_models())
+def test_random_model_roundtrip(model):
+    data = model_to_dict(model)
+    assert model_to_dict(model_from_dict(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_models())
+def test_random_model_roundtrip_preserves_tables(model):
+    rebuilt = model_from_dict(model_to_dict(model))
+    for component in model.components:
+        twin = rebuilt.component(component.name)
+        for klass in component.classes:
+            other = twin.klass(klass.key_letters)
+            machine, other_machine = klass.statemachine, other.statemachine
+            assert machine.initial_state == other_machine.initial_state
+            for state in machine.states:
+                for event in klass.events:
+                    assert (machine.response_to(state.name, event.label)
+                            == other_machine.response_to(state.name,
+                                                         event.label))

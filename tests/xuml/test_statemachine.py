@@ -1,0 +1,132 @@
+"""Unit tests for the state transition table."""
+
+import pytest
+
+from repro.xuml import (
+    DefinitionError,
+    DuplicateElementError,
+    EventResponse,
+    State,
+    StateMachine,
+    UnknownElementError,
+)
+
+
+def two_state_machine() -> StateMachine:
+    machine = StateMachine()
+    machine.add_state(State("Idle", 1))
+    machine.add_state(State("Busy", 2))
+    machine.add_transition("Idle", "EV1", "Busy")
+    machine.add_transition("Busy", "EV2", "Idle")
+    return machine
+
+
+class TestConstruction:
+    def test_first_state_becomes_initial(self):
+        machine = two_state_machine()
+        assert machine.initial_state == "Idle"
+
+    def test_final_state_does_not_become_initial(self):
+        machine = StateMachine()
+        machine.add_state(State("Done", 1, final=True))
+        assert machine.initial_state is None
+
+    def test_duplicate_state_name_rejected(self):
+        machine = two_state_machine()
+        with pytest.raises(DuplicateElementError):
+            machine.add_state(State("Idle", 3))
+
+    def test_duplicate_state_number_rejected(self):
+        machine = two_state_machine()
+        with pytest.raises(DuplicateElementError):
+            machine.add_state(State("Other", 1))
+
+    def test_duplicate_table_entry_rejected(self):
+        machine = two_state_machine()
+        with pytest.raises(DuplicateElementError):
+            machine.add_transition("Idle", "EV1", "Idle")
+
+    def test_duplicate_creation_transition_rejected(self):
+        machine = two_state_machine()
+        machine.add_creation_transition("EV9", "Idle")
+        with pytest.raises(DuplicateElementError):
+            machine.add_creation_transition("EV9", "Busy")
+
+    def test_bad_state_name_rejected(self):
+        with pytest.raises(ValueError):
+            State("has space", 1)
+
+    def test_state_numbers_start_at_one(self):
+        with pytest.raises(ValueError):
+            State("X", 0)
+
+
+class TestResponses:
+    def test_transition_response(self):
+        machine = two_state_machine()
+        assert machine.response_to("Idle", "EV1") is EventResponse.TRANSITION
+
+    def test_unlisted_pair_cant_happen(self):
+        machine = two_state_machine()
+        assert machine.response_to("Idle", "EV2") is EventResponse.CANT_HAPPEN
+
+    def test_ignore_entry(self):
+        machine = two_state_machine()
+        machine.set_ignored("Idle", "EV2")
+        assert machine.response_to("Idle", "EV2") is EventResponse.IGNORE
+
+    def test_explicit_cant_happen_entry(self):
+        machine = two_state_machine()
+        machine.set_cant_happen("Busy", "EV1")
+        assert machine.response_to("Busy", "EV1") is EventResponse.CANT_HAPPEN
+
+    def test_cannot_ignore_a_transition_pair(self):
+        machine = two_state_machine()
+        with pytest.raises(DefinitionError):
+            machine.set_ignored("Idle", "EV1")
+
+    def test_cannot_cant_happen_a_transition_pair(self):
+        machine = two_state_machine()
+        with pytest.raises(DefinitionError):
+            machine.set_cant_happen("Idle", "EV1")
+
+    def test_transition_for_lookup(self):
+        machine = two_state_machine()
+        transition = machine.transition_for("Idle", "EV1")
+        assert transition.to_state == "Busy"
+        assert machine.transition_for("Idle", "EV2") is None
+
+    def test_creation_transition_lookup(self):
+        machine = two_state_machine()
+        machine.add_creation_transition("EV9", "Busy")
+        assert machine.creation_transition_for("EV9").to_state == "Busy"
+        assert machine.creation_transition_for("EV1") is None
+
+
+class TestQueries:
+    def test_unknown_state_lookup_raises(self):
+        with pytest.raises(UnknownElementError):
+            two_state_machine().state("Nope")
+
+    def test_events_handled_includes_all_entry_kinds(self):
+        machine = two_state_machine()
+        machine.set_ignored("Idle", "EV3")
+        machine.add_creation_transition("EV9", "Idle")
+        assert machine.events_handled() == {"EV1", "EV2", "EV3", "EV9"}
+
+    def test_reachable_states_from_initial(self):
+        machine = two_state_machine()
+        machine.add_state(State("Orphan", 3))
+        reachable = machine.reachable_states()
+        assert reachable == {"Idle", "Busy"}
+
+    def test_creation_targets_count_as_reachable(self):
+        machine = two_state_machine()
+        machine.add_state(State("Born", 3))
+        machine.add_creation_transition("EV9", "Born")
+        assert "Born" in machine.reachable_states()
+
+    def test_empty_machine(self):
+        machine = StateMachine()
+        assert machine.is_empty()
+        assert not two_state_machine().is_empty()
