@@ -9,6 +9,7 @@ The tool surface a downstream user drives without writing Python:
   materialize the generated C/VHDL artifacts
 * ``verify``  — run a catalog model's formal suite on all platforms
 * ``sweep``   — co-simulate candidate partitions of the packet SoC
+* ``chaos``   — replay a formal suite under injected bus faults (E8)
 
 Model files are the JSON format of :mod:`repro.xuml.serialize`; marking
 files are the sticky-note format of :class:`repro.marks.MarkSet`.
@@ -149,6 +150,73 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.models import build_model
+    from repro.verify import chaos_sweep
+
+    try:
+        rates = tuple(float(r) for r in args.rates.split(","))
+    except ValueError:
+        print(f"chaos: --rates must be a comma-separated list of "
+              f"numbers, got {args.rates!r}", file=sys.stderr)
+        return 1
+    if any(not 0.0 <= r <= 1.0 for r in rates):
+        print(f"chaos: fault rates must be within 0..1, got "
+              f"{args.rates!r}", file=sys.stderr)
+        return 1
+    hardware = tuple(args.hardware.split(",")) if args.hardware else None
+    if hardware:
+        known = set(build_model(args.name).components[0].class_keys)
+        unknown = [key for key in hardware if key not in known]
+        if unknown:
+            print(f"chaos: no class {'/'.join(unknown)} in {args.name} "
+                  f"(have {'/'.join(sorted(known))})", file=sys.stderr)
+            return 1
+    protected = chaos_sweep(args.name, hardware=hardware, rates=rates,
+                            seed=args.seed, protected=True)
+    unprotected = chaos_sweep(args.name, hardware=hardware, rates=rates,
+                              seed=args.seed, protected=False)
+    print(protected.render())
+    print()
+    print(unprotected.render())
+    base = unprotected.points[0]
+    prot = protected.points[0]
+    if base.bus_bytes:
+        overhead = prot.bus_bytes / base.bus_bytes - 1.0
+        print(f"\nframing overhead at rate 0: "
+              f"{overhead * 100:.0f}% bus bytes "
+              f"({prot.bus_bytes} vs {base.bus_bytes})")
+    if args.csv:
+        _write_chaos_csv(args.csv, protected, unprotected)
+        print(f"wrote {args.csv}")
+    # protected must conform; unprotected may fail cases but never crash
+    return 0 if protected.conformant and not unprotected.crashed else 1
+
+
+def _write_chaos_csv(path: str, *reports) -> None:
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow([
+            "model", "protected", "rate", "cases_clean", "cases_total",
+            "causality", "injected", "detected", "retransmissions",
+            "recovered", "lost", "delivered_corrupted", "bus_bytes",
+            "mean_makespan_ns",
+        ])
+        for report in reports:
+            for point in report.points:
+                stats = point.fault_stats
+                writer.writerow([
+                    report.model, int(report.protected), point.rate,
+                    sum(1 for c in point.cases if c.clean),
+                    len(point.cases), point.causality_violations,
+                    stats.injected, stats.detected, stats.retransmissions,
+                    stats.recovered, stats.lost, stats.delivered_corrupted,
+                    point.bus_bytes, f"{point.mean_makespan_ns:.0f}",
+                ])
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -210,6 +278,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=7, help="workload seed")
     sweep.add_argument("--csv", help="also write results to this CSV file")
     sweep.set_defaults(func=cmd_sweep)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="replay a model's formal suite under injected bus faults (E8)")
+    chaos.add_argument("name", help="catalog model name")
+    chaos.add_argument("--hardware",
+                       help="comma-separated hardware class keys "
+                            "(default: receiver of the first boundary flow)")
+    chaos.add_argument("--rates", default="0.0,0.01,0.02,0.05",
+                       help="comma-separated fault rates to sweep")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-injection seed (runs reproduce exactly)")
+    chaos.add_argument("--csv", help="also write both sweeps to this CSV file")
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

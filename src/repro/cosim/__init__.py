@@ -11,13 +11,26 @@
 from .bus import Bus, BusRequest, BusStats
 from .config import CoSimConfig
 from .engine import CoSimError, CoSimMachine, ResourceStats, US_TO_NS
+from .faults import (
+    NO_FAULT,
+    FaultDecision,
+    FaultError,
+    FaultPlan,
+    FaultRates,
+    FaultStats,
+)
 from .perf import (
     LatencyProbe,
     LatencySample,
     PartitionMeasurement,
     ThroughputProbe,
 )
-from .report import measurements_to_csv, render_table, write_csv
+from .report import (
+    measurements_to_csv,
+    render_fault_stats,
+    render_table,
+    write_csv,
+)
 from .sweep import best_partition, measure_partition, sweep_partitions
 from .workload import (
     PacketStimulus,
@@ -34,8 +47,14 @@ __all__ = [
     "CoSimConfig",
     "CoSimError",
     "CoSimMachine",
+    "FaultDecision",
+    "FaultError",
+    "FaultPlan",
+    "FaultRates",
+    "FaultStats",
     "LatencyProbe",
     "LatencySample",
+    "NO_FAULT",
     "PacketStimulus",
     "PartitionMeasurement",
     "ResourceStats",
@@ -48,6 +67,7 @@ __all__ = [
     "measurements_to_csv",
     "periodic_packets",
     "poisson_packets",
+    "render_fault_stats",
     "render_table",
     "sweep_partitions",
     "write_csv",

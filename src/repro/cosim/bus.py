@@ -4,6 +4,14 @@ Cross-partition messages are serialized through one bus.  The bus grants
 pending requests one at a time; the grant order is the arbitration
 policy (E4 ablates fixed-priority against round-robin against FIFO).
 Occupancy per message comes from :meth:`CoSimConfig.bus_transfer_ns`.
+
+When a :class:`~repro.cosim.faults.FaultPlan` is installed, the grant
+path is where faults strike: the bus draws the transfer's (seeded,
+reproducible) :class:`~repro.cosim.faults.FaultDecision`, counts it in
+the shared :class:`~repro.cosim.faults.FaultStats`, attaches it to the
+request for the receiver to act on, and stretches the delivery time of
+delayed frames.  The bus itself stays oblivious to frame contents —
+detection and recovery are the engine's business.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .config import CoSimConfig
+from .faults import FaultDecision, FaultPlan, FaultStats
 
 
 @dataclass
@@ -23,6 +32,11 @@ class BusRequest:
     payload_bytes: int
     sender_side: str            # "hw" or "sw"
     deliver: object             # zero-arg callable run at delivery time
+    payload: bytes = b""        # the (possibly framed) wire bytes
+    message_name: str = ""      # interface message this frame carries
+    attempt: int = 1            # 1 = first send, >1 = retransmission
+    #: FaultDecision drawn at grant time (None until granted / no plan)
+    fault: FaultDecision | None = None
 
 
 @dataclass
@@ -43,12 +57,17 @@ class BusStats:
 class Bus:
     """Single-master-at-a-time shared bus with pluggable arbitration."""
 
-    def __init__(self, config: CoSimConfig):
+    def __init__(self, config: CoSimConfig,
+                 fault_plan: FaultPlan | None = None,
+                 fault_stats: FaultStats | None = None):
         self._config = config.validated()
         self._pending: list[BusRequest] = []
         self._free_at = 0
         self._rr_last_side = "hw"    # round-robin alternates sides
         self.stats = BusStats()
+        self._fault_plan = fault_plan
+        self.fault_stats = fault_stats if fault_stats is not None \
+            else FaultStats()
 
     @property
     def free_at(self) -> int:
@@ -89,6 +108,13 @@ class Bus:
         self.stats.wait_ns += start - chosen.ready_at
         if self._config.bus_policy == "round_robin":
             self._rr_last_side = chosen.sender_side
+        if self._fault_plan is not None:
+            decision = self._fault_plan.decide(
+                chosen.message_name, chosen.sequence, chosen.attempt)
+            self.fault_stats.count_injected(decision)
+            chosen.fault = decision
+            # a delayed frame leaves the bus on time but lands late
+            delivery += decision.delay_ns
         return delivery, chosen
 
     def _arbitrate(self, ready: list[BusRequest]) -> BusRequest:

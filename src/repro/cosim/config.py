@@ -49,7 +49,8 @@ class CoSimConfig:
         if self.bus_policy not in ("fifo", "priority", "round_robin"):
             raise ValueError(f"unknown bus policy {self.bus_policy!r}")
         for name in ("sw_ns_per_op", "sw_dispatch_ns", "hw_ns_per_op",
-                     "hw_dispatch_ns", "bus_arbitration_ns"):
+                     "hw_dispatch_ns", "bus_arbitration_ns",
+                     "bus_ns_per_byte"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
         return self

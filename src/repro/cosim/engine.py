@@ -23,15 +23,16 @@ workflow the paper advertises.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.mda.archrt import TargetMachine
+from repro.mda.archrt import ArchError, TargetMachine
 from repro.mda.compiler import Build
-from repro.mda.interfacegen import InterfaceCodec
+from repro.mda.interfacegen import InterfaceCodec, InterfaceError
 from repro.runtime.events import InstanceQueue, SignalInstance
 
 from .bus import Bus, BusRequest
 from .config import CoSimConfig
+from .faults import NO_FAULT, FaultPlan, FaultStats
 
 #: model time (microseconds) to platform time (nanoseconds)
 US_TO_NS = 1_000
@@ -55,17 +56,52 @@ class ResourceStats:
         return min(1.0, self.busy_ns / horizon_ns)
 
 
+@dataclass
+class _Transfer:
+    """Sender-side state of one cross-partition signal on the wire.
+
+    A transfer outlives individual bus requests: every (re)transmission
+    of the signal is one attempt of the same transfer, and the receiver
+    acks by setting ``done`` (the ack travels on an instantaneous
+    sideband — it occupies no bus time and is never faulted, which keeps
+    the protocol tractable while still exercising loss, corruption,
+    duplication and delay on the data path).
+    """
+
+    frame_id: int
+    signal: SignalInstance
+    message_name: str
+    message_id: int
+    sender_side: str
+    payload: bytes              # packed, unframed
+    protected: bool = False
+    max_retries: int = 0
+    backoff_ns: int = 2_000
+    critical: bool = False
+    attempts: int = 0
+    done: bool = False          # receiver accepted a copy (the "ack")
+    lost_counted: bool = False
+
+
 class CoSimMachine(TargetMachine):
     """Timed execution of one build on the modelled SoC platform."""
 
-    def __init__(self, build: Build, config: CoSimConfig | None = None):
+    def __init__(self, build: Build, config: CoSimConfig | None = None,
+                 fault_plan: FaultPlan | None = None):
         super().__init__(build.manifest)
         self.build = build
         self.config = (config or CoSimConfig()).validated()
         self.partition = build.partition
-        self.bus = Bus(self.config)
+        self.fault_plan = fault_plan
+        self.fault_stats = FaultStats()
+        self.bus = Bus(self.config, fault_plan, self.fault_stats)
         self._codec = InterfaceCodec.from_artifact(
             build.interface.emit_c_header())
+        # resilience protocol state
+        self._frame_counter = 0
+        self._delivered_frames: set[int] = set()
+        self._lost_frames: set[int] = set()
+        self._corrupted_sequences: set[int] = set()
         # timed event structures (self.pool is unused here)
         self._heap: list[tuple[int, int, int, object]] = []
         self._heap_seq = 0
@@ -126,15 +162,51 @@ class CoSimMachine(TargetMachine):
         })
         payload = self._codec.pack(message.name, values)
         self.bus_messages_sent += 1
-        self.bus.request(BusRequest(
-            ready_at=ready_ns,
-            sequence=signal.sequence,
+        self._frame_counter += 1
+        frame_spec = self._codec.frames.get(message.name)
+        transfer = _Transfer(
+            frame_id=self._frame_counter,
+            signal=signal,
+            message_name=message.name,
             message_id=message.message_id,
-            payload_bytes=len(payload),
             sender_side=sender_side,
-            deliver=lambda s=signal: self._push_heap_now("arrival", s),
-        ))
+            payload=payload,
+        )
+        if frame_spec is not None:
+            transfer.protected = True
+            transfer.max_retries = frame_spec.max_retries
+            transfer.backoff_ns = frame_spec.retry_backoff_ns
+            transfer.critical = frame_spec.critical
+        self._send_attempt(transfer, ready_ns)
+
+    def _send_attempt(self, transfer: _Transfer, ready_ns: int) -> None:
+        """Put one (re)transmission of *transfer* on the bus."""
+        transfer.attempts += 1
+        attempt = transfer.attempts
+        if transfer.protected:
+            wire = self._codec.frame(
+                transfer.message_name, transfer.payload, transfer.frame_id)
+        else:
+            wire = transfer.payload
+        request = BusRequest(
+            ready_at=ready_ns,
+            sequence=transfer.signal.sequence,
+            message_id=transfer.message_id,
+            payload_bytes=len(wire),
+            sender_side=transfer.sender_side,
+            deliver=None,
+            payload=wire,
+            message_name=transfer.message_name,
+            attempt=attempt,
+        )
+        request.deliver = \
+            lambda t=transfer, r=request: self._frame_arrived(t, r)
+        self.bus.request(request)
         self._push_heap(ready_ns, "bus_poll", None)
+        if transfer.protected and transfer.max_retries > 0:
+            # ack timeout doubles per attempt (exponential backoff)
+            timeout = transfer.backoff_ns << (attempt - 1)
+            self._push_heap(ready_ns + timeout, "retry", transfer)
 
     def _bus_encode(self, value, tag: str):
         if value is None:
@@ -146,6 +218,124 @@ class CoSimMachine(TargetMachine):
         if tag.startswith("inst_ref"):
             return int(value) if value else 0
         return value
+
+    # -- receiver side of the resilience protocol ---------------------------------
+
+    def _frame_arrived(self, transfer: _Transfer, request: BusRequest) -> None:
+        """One bus delivery concluded — apply its fault, if any."""
+        fault = request.fault or NO_FAULT
+        if fault.drop:
+            # the wire ate this copy; protected transfers retry on the
+            # ack timeout, unprotected ones are silently lost
+            if not transfer.protected:
+                self._count_lost(transfer)
+            elif transfer.attempts > transfer.max_retries:
+                self._count_lost(transfer)   # that was the last attempt
+            return
+        wire = request.payload
+        if fault.corrupt and self.fault_plan is not None:
+            wire = self.fault_plan.corrupt_payload(
+                wire, request.message_name, request.sequence, request.attempt)
+        deliveries = 2 if fault.duplicate else 1
+        for _ in range(deliveries):
+            if transfer.protected:
+                self._accept_frame(transfer, wire)
+            else:
+                self._deliver_unprotected(transfer, wire, fault.corrupt)
+
+    def _accept_frame(self, transfer: _Transfer, wire: bytes) -> None:
+        """CRC check, dedup, ack, and delivery of a protected frame."""
+        stats = self.fault_stats
+        try:
+            payload, _seq = self._codec.deframe(transfer.message_name, wire)
+        except InterfaceError:
+            stats.detected += 1
+            if transfer.attempts > transfer.max_retries:
+                self._count_lost(transfer)   # no attempts left to fix it
+            return
+        if transfer.frame_id in self._delivered_frames:
+            stats.duplicates_discarded += 1
+            transfer.done = True
+            return
+        self._delivered_frames.add(transfer.frame_id)
+        transfer.done = True
+        if transfer.frame_id in self._lost_frames:
+            # a copy given up for lost limped in after all: un-count it
+            self._lost_frames.discard(transfer.frame_id)
+            stats.lost -= 1
+            if transfer.critical:
+                stats.critical_lost -= 1
+            stats.recovered += 1
+        elif transfer.attempts > 1:
+            stats.recovered += 1
+        if payload == transfer.payload:
+            self._push_heap_now("arrival", transfer.signal)
+            return
+        # CRC passed on altered bytes (or an undetected flip): decode it
+        decoded = self._decode_signal(transfer, payload)
+        if decoded is None:
+            stats.detected += 1
+            self._count_lost(transfer)
+        else:
+            stats.delivered_corrupted += 1
+            self._corrupted_sequences.add(decoded.sequence)
+            self._push_heap_now("arrival", decoded)
+
+    def _deliver_unprotected(self, transfer: _Transfer, wire: bytes,
+                             corrupted: bool) -> None:
+        """Best-effort delivery: garbage degrades gracefully, never raises."""
+        if not corrupted:
+            self._push_heap_now("arrival", transfer.signal)
+            return
+        decoded = self._decode_signal(transfer, wire)
+        if decoded is None:
+            # malformed beyond decoding: dropped and counted, no exception
+            self.fault_stats.detected += 1
+            self._count_lost(transfer)
+            return
+        self.fault_stats.delivered_corrupted += 1
+        self._corrupted_sequences.add(decoded.sequence)
+        self._push_heap_now("arrival", decoded)
+
+    def _decode_signal(self, transfer: _Transfer,
+                       payload: bytes) -> SignalInstance | None:
+        """Rebuild the signal from wire bytes; None if it cannot be trusted."""
+        try:
+            values = self._codec.unpack(transfer.message_name, payload)
+        except InterfaceError:
+            return None
+        target = values.pop("target_instance", 0)
+        if target != (transfer.signal.target_handle or 0):
+            return None   # misrouted: addresses some other (or no) instance
+        params: dict = {}
+        for name, tag, _o, _w in self._codec.layouts[transfer.message_name][2]:
+            if name == "target_instance":
+                continue
+            try:
+                params[name] = self._bus_decode(values[name], tag)
+            except (InterfaceError, KeyError, ValueError):
+                return None
+        return replace(transfer.signal, params=params)
+
+    def _bus_decode(self, value, tag: str):
+        if tag.startswith("enum:"):
+            enum_name = tag.split(":", 1)[1]
+            literals = self.manifest.enums[enum_name]
+            index = int(value)
+            if not 0 <= index < len(literals):
+                raise InterfaceError(
+                    f"enum {enum_name} index {index} out of range")
+            return literals[index]
+        return value
+
+    def _count_lost(self, transfer: _Transfer) -> None:
+        if transfer.done or transfer.lost_counted:
+            return
+        transfer.lost_counted = True
+        self._lost_frames.add(transfer.frame_id)
+        self.fault_stats.lost += 1
+        if transfer.critical:
+            self.fault_stats.critical_lost += 1
 
     def _push_heap(self, time_ns: int, kind: str, payload) -> None:
         self._heap_seq += 1
@@ -214,6 +404,15 @@ class CoSimMachine(TargetMachine):
                 payload.deliver()
                 # the bus may have more queued work now that it is free
                 self._push_heap_now("bus_poll", None)
+                advanced = True
+            elif kind == "retry":
+                transfer = payload
+                if not transfer.done:
+                    if transfer.attempts <= transfer.max_retries:
+                        self.fault_stats.retransmissions += 1
+                        self._send_attempt(transfer, self.now)
+                    else:
+                        self._count_lost(transfer)
                 advanced = True
         return advanced
 
@@ -296,6 +495,16 @@ class CoSimMachine(TargetMachine):
             observer(start, signal)
         try:
             self.dispatch(signal)
+        except ArchError:
+            # a corrupted command can trip the runtime's safety bounds
+            # directly (loop limit) or poison the receiver's state so a
+            # *later*, clean signal hits cant-happen.  Once corrupted
+            # data was delivered, contain the blast radius and write the
+            # dispatch off as lost; with no corruption in play the error
+            # is a genuine model bug and propagates.
+            if not self._corrupted_sequences:
+                raise
+            self.fault_stats.lost += 1
         finally:
             emitted = self._emit_buffer
             self._emit_buffer = None

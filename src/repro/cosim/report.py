@@ -9,6 +9,7 @@ from __future__ import annotations
 import csv
 import io
 
+from .faults import FaultStats
 from .perf import PartitionMeasurement
 
 _CSV_COLUMNS = (
@@ -47,6 +48,21 @@ def measurements_to_csv(measurements: list[PartitionMeasurement]) -> str:
             f"{m.bus_utilization:.4f}", m.bus_messages, m.makespan_ns,
         ])
     return buffer.getvalue()
+
+
+def render_fault_stats(stats: FaultStats, label: str = "faults") -> str:
+    """One-paragraph summary of a run's fault injection and recovery."""
+    lines = [
+        f"{label}: {stats.injected} injected "
+        f"(drop {stats.injected_drops}, corrupt {stats.injected_corruptions},"
+        f" dup {stats.injected_duplicates}, delay {stats.injected_delays})",
+        f"  detected {stats.detected}  retransmissions "
+        f"{stats.retransmissions}  recovered {stats.recovered}",
+        f"  lost {stats.lost} (critical {stats.critical_lost})  "
+        f"dup-discarded {stats.duplicates_discarded}  "
+        f"delivered-corrupted {stats.delivered_corrupted}",
+    ]
+    return "\n".join(lines)
 
 
 def write_csv(measurements: list[PartitionMeasurement], path) -> str:

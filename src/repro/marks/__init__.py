@@ -8,7 +8,15 @@
 """
 
 from .diff import ChangeKind, MarkChange, diff_marks, partition_change_cost
-from .model import STANDARD_MARKS, Mark, MarkDefinition, MarkError, MarkSet
+from .model import (
+    CRC_KINDS,
+    RELIABILITY_MARKS,
+    STANDARD_MARKS,
+    Mark,
+    MarkDefinition,
+    MarkError,
+    MarkSet,
+)
 from .partition import (
     Partition,
     SignalFlow,
@@ -20,6 +28,7 @@ from .partition import (
 from .validate import MarkViolation, validate_marks
 
 __all__ = [
+    "CRC_KINDS",
     "ChangeKind",
     "Mark",
     "MarkChange",
@@ -28,6 +37,7 @@ __all__ = [
     "MarkSet",
     "MarkViolation",
     "Partition",
+    "RELIABILITY_MARKS",
     "STANDARD_MARKS",
     "SignalFlow",
     "all_partitions",

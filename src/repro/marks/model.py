@@ -48,6 +48,26 @@ class MarkDefinition:
         return raw.strip()
 
 
+#: Reliability marks — platform-level protection of boundary messages,
+#: selected outside the model exactly like the partition itself.  They
+#: apply to the *receiver* class: every bus message delivered to a class
+#: marked ``crc`` is framed with a CRC trailer and sequence number by
+#: both generated interface halves, and retransmitted on loss up to
+#: ``maxRetries`` times with exponential ``retryBackoffNs`` backoff.
+RELIABILITY_MARKS: tuple[MarkDefinition, ...] = (
+    MarkDefinition("crc", str, "none",
+                   "frame this class's boundary messages with a CRC "
+                   "trailer (none | crc8 | crc16)"),
+    MarkDefinition("maxRetries", int, 0,
+                   "retransmission budget for protected boundary messages"),
+    MarkDefinition("retryBackoffNs", int, 2000,
+                   "base ack-timeout of the retransmit protocol, in "
+                   "bus-time nanoseconds (doubles per attempt)"),
+    MarkDefinition("isCritical", bool, False,
+                   "count any lost message to this class as a platform "
+                   "failure in the fault report"),
+)
+
 #: The model compiler's mark vocabulary.
 STANDARD_MARKS: tuple[MarkDefinition, ...] = (
     MarkDefinition("isHardware", bool, False,
@@ -64,7 +84,10 @@ STANDARD_MARKS: tuple[MarkDefinition, ...] = (
                    "bus segment carrying this class's cross-partition signals"),
     MarkDefinition("unroll_loops", bool, False,
                    "hardware mapping hint: unroll bounded loops"),
-)
+) + RELIABILITY_MARKS
+
+#: CRC kinds the reliability framing understands.
+CRC_KINDS: tuple[str, ...] = ("none", "crc8", "crc16")
 
 
 @dataclass(frozen=True)

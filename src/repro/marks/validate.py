@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.xuml.model import Model
 
-from .model import MarkError, MarkSet
+from .model import CRC_KINDS, MarkError, MarkSet
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,39 @@ def validate_marks(
             violations.append(MarkViolation(
                 mark.element_path, mark.name,
                 "clock_mhz only applies to isHardware elements",
+            ))
+
+        # reliability marks: keep the protection vocabulary honest
+        if mark.name == "crc" and mark.value not in CRC_KINDS:
+            violations.append(MarkViolation(
+                mark.element_path, mark.name,
+                f"{mark.value!r} is not one of {'/'.join(CRC_KINDS)}",
+            ))
+        if mark.name == "maxRetries" and isinstance(mark.value, int):
+            if not 0 <= mark.value <= 16:
+                violations.append(MarkViolation(
+                    mark.element_path, mark.name,
+                    f"retry budget of {mark.value} is outside 0..16",
+                ))
+            elif mark.value > 0 and \
+                    marks.get(mark.element_path, "crc") == "none":
+                violations.append(MarkViolation(
+                    mark.element_path, mark.name,
+                    "retransmission requires a crc mark (retries are "
+                    "triggered by CRC rejection)",
+                ))
+        if mark.name == "retryBackoffNs" and isinstance(mark.value, int):
+            if mark.value < 1:
+                violations.append(MarkViolation(
+                    mark.element_path, mark.name,
+                    "retry backoff must be at least 1 ns",
+                ))
+        if mark.name == "isCritical" and mark.value and \
+                marks.get(mark.element_path, "crc") == "none":
+            violations.append(MarkViolation(
+                mark.element_path, mark.name,
+                "a critical class needs a crc mark so losses are "
+                "detectable",
             ))
 
     if strict and violations:

@@ -16,12 +16,16 @@ from .clint import LintFinding, lint_c
 from .compiler import Build, ModelCompiler
 from .csim import CSoftwareMachine
 from .interfacegen import (
+    FrameSpec,
     InterfaceCodec,
     InterfaceError,
     InterfaceSpec,
     Message,
     MessageField,
+    Protection,
     build_interface_spec,
+    crc8,
+    crc16_ccitt,
 )
 from .manifest import (
     ClassManifest,
@@ -50,6 +54,7 @@ __all__ = [
     "CSoftwareMachine",
     "ClassManifest",
     "ComponentManifest",
+    "FrameSpec",
     "HARDWARE_RULE",
     "InterfaceCodec",
     "InterfaceError",
@@ -59,6 +64,7 @@ __all__ = [
     "Message",
     "MessageField",
     "ModelCompiler",
+    "Protection",
     "RuleError",
     "RuleSet",
     "SOFTWARE_RULE",
@@ -71,6 +77,8 @@ __all__ = [
     "build_manifest",
     "c_ident",
     "c_macro",
+    "crc8",
+    "crc16_ccitt",
     "dtype_tag",
     "ir_op_counts",
     "lint_c",

@@ -120,7 +120,7 @@ class ModelCompiler:
         """Run the full mapping pipeline for *marks*."""
         manifest = build_manifest(self.model, self.component)
         partition = derive_partition(self.model, self.component, marks)
-        interface = build_interface_spec(manifest, partition)
+        interface = build_interface_spec(manifest, partition, marks)
 
         rules_applied: dict[str, str] = {}
         artifacts: dict[str, str] = {}

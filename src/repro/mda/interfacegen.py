@@ -25,6 +25,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from repro.marks.model import CRC_KINDS, MarkError, MarkSet
 from repro.marks.partition import Partition
 from repro.xuml.datatypes import bit_width
 
@@ -34,6 +35,84 @@ from .naming import banner, c_ident, c_macro, vhdl_ident
 
 class InterfaceError(Exception):
     """Interface spec construction or codec failure."""
+
+
+# ---------------------------------------------------------------------------
+# reliability framing: CRC trailers shared by both generated halves
+# ---------------------------------------------------------------------------
+
+#: a protected frame appends seq16 + crc(8|16) padded to one 32-bit word
+FRAME_TRAILER_BYTES = 4
+
+#: CRC-8 polynomial (ATM HEC), emitted into both artifacts
+CRC8_POLY = 0x07
+#: CRC-16-CCITT polynomial, emitted into both artifacts
+CRC16_POLY = 0x1021
+CRC16_INIT = 0xFFFF
+
+
+def crc8(data: bytes) -> int:
+    """CRC-8 (poly 0x07, init 0x00) over *data*."""
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = ((crc << 1) ^ CRC8_POLY if crc & 0x80 else crc << 1) & 0xFF
+    return crc
+
+
+def crc16_ccitt(data: bytes) -> int:
+    """CRC-16-CCITT (poly 0x1021, init 0xFFFF) over *data*."""
+    crc = CRC16_INIT
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ CRC16_POLY if crc & 0x8000
+                   else crc << 1) & 0xFFFF
+    return crc
+
+
+@dataclass(frozen=True)
+class Protection:
+    """Reliability protocol of one boundary message, chosen by marks.
+
+    Like the partition itself, protection lives entirely outside the
+    model: the ``crc`` / ``maxRetries`` / ``retryBackoffNs`` /
+    ``isCritical`` marks on the *receiver* class decide it, and both
+    generated interface halves emit the identical framing — so the two
+    sides of a protected message still fit together by construction.
+    """
+
+    crc: str = "none"               # "none" | "crc8" | "crc16"
+    max_retries: int = 0
+    retry_backoff_ns: int = 2_000
+    critical: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.crc != "none"
+
+
+def protection_from_marks(
+    marks: MarkSet | None, component_name: str, class_key: str
+) -> Protection:
+    """Read a receiver class's reliability marks (default: unprotected)."""
+    if marks is None:
+        return Protection()
+    path = f"{component_name}.{class_key}"
+    try:
+        crc = str(marks.get(path, "crc"))
+        retries = int(marks.get(path, "maxRetries"))
+        backoff = int(marks.get(path, "retryBackoffNs"))
+        critical = bool(marks.get(path, "isCritical"))
+    except MarkError:
+        # a custom vocabulary without reliability marks: no protection
+        return Protection()
+    if crc not in CRC_KINDS:
+        raise InterfaceError(
+            f"{path}: crc mark {crc!r} is not one of {'/'.join(CRC_KINDS)}")
+    return Protection(crc=crc, max_retries=retries,
+                      retry_backoff_ns=backoff, critical=critical)
 
 
 @dataclass(frozen=True)
@@ -65,6 +144,7 @@ class Message:
     receiver_class: str
     direction: str                  # "sw_to_hw" or "hw_to_sw"
     fields: tuple[MessageField, ...]
+    protection: Protection = Protection()
 
     @property
     def payload_bytes(self) -> int:
@@ -73,6 +153,13 @@ class Message:
         last = self.fields[-1]
         raw = last.offset_bytes + last.width_bytes
         return (raw + 3) // 4 * 4  # padded to 32-bit words
+
+    @property
+    def frame_bytes(self) -> int:
+        """On-wire size: payload plus the CRC/seq trailer if protected."""
+        if not self.protection.enabled:
+            return self.payload_bytes
+        return self.payload_bytes + FRAME_TRAILER_BYTES
 
     def field(self, name: str) -> MessageField:
         for f in self.fields:
@@ -109,7 +196,8 @@ class InterfaceSpec:
         return tuple(
             (m.message_id, m.name, m.payload_bytes,
              tuple((f.name, f.dtype_tag, f.offset_bits, f.width_bits)
-                   for f in m.fields))
+                   for f in m.fields),
+             (m.protection.crc, m.frame_bytes))
             for m in self.messages
         )
 
@@ -127,6 +215,21 @@ class InterfaceSpec:
         for message in self.messages:
             lines.append(f"#define MSG_ID_{c_macro(message.name)} "
                          f"{message.message_id}")
+        lines.append("")
+        for message in self.messages:
+            lines.append(f"#define {c_macro(message.name)}_FRAME_BYTES "
+                         f"{message.frame_bytes}")
+        if any(m.protection.enabled for m in self.messages):
+            lines.append("")
+            lines.append("/* protected frames append seq16 (LE) and a CRC,")
+            lines.append(f"   padded to {FRAME_TRAILER_BYTES} trailer bytes;")
+            lines.append(f"   crc8 poly 0x{CRC8_POLY:02X} init 0x00,")
+            lines.append(f"   crc16 poly 0x{CRC16_POLY:04X}"
+                         f" init 0x{CRC16_INIT:04X} (CCITT) */")
+            lines.append("uint8_t  crc8_update(const uint8_t *data,"
+                         " uint32_t len);")
+            lines.append("uint16_t crc16_ccitt(const uint8_t *data,"
+                         " uint32_t len);")
         lines.append("")
         for message in self.messages:
             lines.append(f"/* {message.sender_class} -> "
@@ -171,6 +274,21 @@ class InterfaceSpec:
                          f"integer := {message.message_id};")
         lines.append("")
         for message in self.messages:
+            lines.append(f"    constant {c_macro(message.name)}_FRAME_BYTES : "
+                         f"integer := {message.frame_bytes};")
+        if any(m.protection.enabled for m in self.messages):
+            lines.append("")
+            lines.append("    -- protected frames append seq16 (LE) and a"
+                         " CRC, padded to"
+                         f" {FRAME_TRAILER_BYTES} trailer bytes")
+            lines.append(f"    constant CRC8_POLY : std_logic_vector(7 downto"
+                         f" 0) := x\"{CRC8_POLY:02X}\";")
+            lines.append("    constant CRC16_POLY : std_logic_vector(15"
+                         f" downto 0) := x\"{CRC16_POLY:04X}\";")
+            lines.append("    constant CRC16_INIT : std_logic_vector(15"
+                         f" downto 0) := x\"{CRC16_INIT:04X}\";")
+        lines.append("")
+        for message in self.messages:
             lines.append(f"    -- {message.sender_class} -> "
                          f"{message.receiver_class} : {message.event_label} "
                          f"({message.direction})")
@@ -210,6 +328,15 @@ class InterfaceSpec:
                     f"type={fld.dtype_tag} offset={fld.offset_bits} "
                     f"width={fld.width_bits}"
                 )
+            if message.protection.enabled:
+                p = message.protection
+                lines.append(
+                    f"LAYOUT-FRAME {message.name} crc={p.crc} seq_bits=16 "
+                    f"frame_bytes={message.frame_bytes} "
+                    f"retries={p.max_retries} "
+                    f"backoff_ns={p.retry_backoff_ns} "
+                    f"critical={1 if p.critical else 0}"
+                )
         return lines
 
 
@@ -232,12 +359,15 @@ def _field_width_bits(dtype) -> int:
 
 
 def build_interface_spec(
-    manifest: ComponentManifest, partition: Partition
+    manifest: ComponentManifest, partition: Partition,
+    marks: MarkSet | None = None,
 ) -> InterfaceSpec:
     """Derive the interface from the partition boundary — once.
 
     Message ids are assigned in sorted (receiver, event) order so the
-    same partition always yields the same interface.
+    same partition always yields the same interface.  When *marks* are
+    given, reliability marks on the receiver class select CRC framing
+    and a retransmit budget for that class's messages.
     """
     seen: set[tuple[str, str]] = set()
     messages: list[Message] = []
@@ -272,6 +402,8 @@ def build_interface_spec(
             receiver_class=flow.receiver_class,
             direction=direction,
             fields=tuple(fields),
+            protection=protection_from_marks(
+                marks, manifest.name, flow.receiver_class),
         ))
         next_id += 1
     return InterfaceSpec(manifest.name, tuple(messages))
@@ -280,6 +412,17 @@ def build_interface_spec(
 # ---------------------------------------------------------------------------
 # codecs: byte-level pack/unpack driven by an emitted artifact's layout table
 # ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """Framing of one protected message, parsed from a LAYOUT-FRAME line."""
+
+    crc: str                        # "crc8" or "crc16"
+    frame_bytes: int
+    max_retries: int = 0
+    retry_backoff_ns: int = 2_000
+    critical: bool = False
+
 
 @dataclass
 class InterfaceCodec:
@@ -293,10 +436,13 @@ class InterfaceCodec:
 
     #: message name -> (message_id, payload_bytes, [(field, tag, off, width)])
     layouts: dict[str, tuple[int, int, list[tuple[str, str, int, int]]]]
+    #: message name -> FrameSpec, for messages carrying a CRC trailer
+    frames: dict[str, "FrameSpec"] = field(default_factory=dict)
 
     @classmethod
     def from_artifact(cls, text: str) -> "InterfaceCodec":
         layouts: dict[str, tuple[int, int, list]] = {}
+        frames: dict[str, FrameSpec] = {}
         for raw in text.splitlines():
             line = raw.strip().lstrip("-/ ").strip()
             if line.startswith("LAYOUT-MSG "):
@@ -316,7 +462,22 @@ class InterfaceCodec:
                     (fname, values["type"], int(values["offset"]),
                      int(values["width"]))
                 )
-        return cls(layouts)
+            elif line.startswith("LAYOUT-FRAME "):
+                parts = line.split()
+                name = parts[1]
+                values = dict(p.split("=", 1) for p in parts[2:])
+                if name not in layouts:
+                    raise InterfaceError(
+                        f"LAYOUT-FRAME before LAYOUT-MSG for {name!r}"
+                    )
+                frames[name] = FrameSpec(
+                    crc=values["crc"],
+                    frame_bytes=int(values["frame_bytes"]),
+                    max_retries=int(values.get("retries", 0)),
+                    retry_backoff_ns=int(values.get("backoff_ns", 2000)),
+                    critical=values.get("critical", "0") == "1",
+                )
+        return cls(layouts, frames)
 
     def message_names(self) -> tuple[str, ...]:
         return tuple(sorted(self.layouts))
@@ -354,8 +515,74 @@ class InterfaceCodec:
         for fname, tag, offset_bits, width_bits in fields:
             start = offset_bits // 8
             chunk = payload[start:start + (width_bits + 7) // 8]
-            values[fname] = _decode_field(tag, width_bits, chunk)
+            try:
+                values[fname] = _decode_field(tag, width_bits, chunk)
+            except InterfaceError:
+                raise
+            except (struct.error, UnicodeDecodeError, IndexError,
+                    ValueError, OverflowError) as exc:
+                raise InterfaceError(
+                    f"{name}.{fname}: malformed bytes "
+                    f"({chunk.hex() or 'empty'}): {exc}"
+                ) from exc
         return values
+
+    # -- reliability framing ------------------------------------------------
+
+    def is_framed(self, name: str) -> bool:
+        return name in self.frames
+
+    def wire_bytes(self, name: str) -> int:
+        """On-wire size of the message: frame size if protected."""
+        if name in self.frames:
+            return self.frames[name].frame_bytes
+        return self.layouts[name][1]
+
+    def frame(self, name: str, payload: bytes, sequence: int) -> bytes:
+        """Append the seq16 + CRC trailer to a packed payload."""
+        try:
+            spec = self.frames[name]
+        except KeyError:
+            raise InterfaceError(f"message {name!r} is not framed") from None
+        body = payload + (sequence & 0xFFFF).to_bytes(2, "little")
+        if spec.crc == "crc8":
+            trailer = bytes((crc8(body), 0))
+        else:
+            trailer = crc16_ccitt(body).to_bytes(2, "little")
+        framed = body + trailer
+        if len(framed) != spec.frame_bytes:
+            raise InterfaceError(
+                f"{name}: framed {len(framed)} bytes, "
+                f"frame spec says {spec.frame_bytes}"
+            )
+        return framed
+
+    def deframe(self, name: str, framed: bytes) -> tuple[bytes, int]:
+        """Strip and verify the trailer; returns ``(payload, sequence)``.
+
+        Raises :class:`InterfaceError` on any length or CRC mismatch —
+        this is the *detection* half of the resilience protocol.
+        """
+        try:
+            spec = self.frames[name]
+        except KeyError:
+            raise InterfaceError(f"message {name!r} is not framed") from None
+        if len(framed) != spec.frame_bytes:
+            raise InterfaceError(
+                f"{name}: frame is {len(framed)} bytes, "
+                f"spec says {spec.frame_bytes}"
+            )
+        body, trailer = framed[:-2], framed[-2:]
+        if spec.crc == "crc8":
+            if trailer[1] != 0:
+                raise InterfaceError(f"{name}: nonzero CRC-8 pad byte")
+            if crc8(body) != trailer[0]:
+                raise InterfaceError(f"{name}: CRC-8 mismatch")
+        else:
+            if crc16_ccitt(body) != int.from_bytes(trailer, "little"):
+                raise InterfaceError(f"{name}: CRC-16 mismatch")
+        payload, seq_bytes = body[:-2], body[-2:]
+        return payload, int.from_bytes(seq_bytes, "little")
 
 
 def _encode_field(tag: str, width_bits: int, value) -> bytes:

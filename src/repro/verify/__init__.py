@@ -7,6 +7,15 @@
 * :data:`SUITES` — the formal suites of the catalog models
 """
 
+from .chaos import (
+    ChaosCaseResult,
+    ChaosPoint,
+    ChaosReport,
+    chaos_build,
+    chaos_sweep,
+    default_hardware_for,
+    reliability_marks,
+)
 from .conformance import (
     CaseConformance,
     ConformanceReport,
@@ -23,6 +32,7 @@ from .suitefile import (
 from .suites import SUITES, suite_for
 from .targets import (
     AbstractTarget,
+    CoSimTarget,
     CSimTarget,
     Target,
     VSimTarget,
@@ -34,6 +44,10 @@ __all__ = [
     "AbstractTarget",
     "CSimTarget",
     "CaseConformance",
+    "ChaosCaseResult",
+    "ChaosPoint",
+    "ChaosReport",
+    "CoSimTarget",
     "ConformanceReport",
     "Failure",
     "SUITES",
@@ -42,7 +56,11 @@ __all__ = [
     "TestCase",
     "TestResult",
     "VSimTarget",
+    "chaos_build",
+    "chaos_sweep",
     "check_conformance",
+    "default_hardware_for",
+    "reliability_marks",
     "run_case",
     "run_suite",
     "standard_targets",

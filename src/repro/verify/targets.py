@@ -10,6 +10,9 @@ preserved the defined behaviour.
 
 from __future__ import annotations
 
+from repro.cosim.config import CoSimConfig
+from repro.cosim.engine import US_TO_NS, CoSimMachine
+from repro.cosim.faults import FaultPlan
 from repro.marks.model import MarkSet
 from repro.marks.partition import marks_for_partition
 from repro.mda.compiler import Build, ModelCompiler
@@ -98,6 +101,35 @@ class VSimTarget(Target):
 
     def run_until(self, time_us: int):
         return self._engine.run_until(time_us)
+
+
+class CoSimTarget(Target):
+    """The timed co-simulation platform, optionally under fault injection.
+
+    ``run_to_quiescence`` gives each run step a bounded *sim-time*
+    budget instead of running to true quiescence: a corrupted parameter
+    can legally ask for an absurdly long behaviour (a four-billion
+    second cook), and chaos runs must terminate anyway.  The budget is
+    generous enough that every fault-free suite finishes unchanged.
+    """
+
+    name = "cosim"
+
+    def __init__(self, build: Build, config: CoSimConfig | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 quiescence_budget_s: int = 3_600):
+        super().__init__(CoSimMachine(build, config, fault_plan))
+        self._budget_us = quiescence_budget_s * 1_000_000
+        if fault_plan is not None:
+            self.name = "cosim/faulted"
+
+    def run_to_quiescence(self, max_steps: int = 1_000_000):
+        machine = self._engine
+        horizon_us = machine.now // US_TO_NS + self._budget_us
+        return machine.run(horizon_us=horizon_us, max_dispatches=max_steps)
+
+    def run_until(self, time_us: int):
+        return self._engine.run(horizon_us=time_us)
 
 
 def standard_targets(model: Model, marks: MarkSet | None = None

@@ -1,0 +1,146 @@
+"""Engine-level fault injection and resilience (PR 1 tentpole).
+
+Drives the packet-processing SoC over a hardware boundary while a
+:class:`FaultPlan` mauls the bus, and checks the protocol's ledger:
+protected builds retransmit and recover, unprotected builds lose
+traffic gracefully, and everything reproduces from one seed.
+"""
+
+from repro.cosim import CoSimMachine, FaultPlan, FaultRates
+from repro.marks import marks_for_partition
+from repro.mda import ModelCompiler
+from repro.models import build_packetproc_model, packetproc
+
+
+def compiled(hardware=("CE", "D"), protected=False, max_retries=3,
+             backoff_ns=2_000):
+    model = build_packetproc_model()
+    component = model.components[0]
+    marks = marks_for_partition(component, hardware)
+    if protected:
+        for key in component.class_keys:
+            path = f"{component.name}.{key}"
+            marks.set(path, "crc", "crc16")
+            marks.set(path, "maxRetries", max_retries)
+            marks.set(path, "retryBackoffNs", backoff_ns)
+            marks.set(path, "isCritical", True)
+    return ModelCompiler(model).compile(marks)
+
+
+def run_machine(build, plan=None, packets=20, spacing=50):
+    machine = CoSimMachine(build, fault_plan=plan)
+    handles = packetproc.populate(machine)
+    for index in range(packets):
+        machine.inject(handles["M"], "M1",
+                       {"pkt_id": index + 1, "length": 128},
+                       delay=index * spacing)
+    machine.run()
+    return machine, handles
+
+
+class TestFaultFreeBaseline:
+    def test_protected_build_without_plan_is_lossless(self):
+        machine, handles = run_machine(compiled(protected=True))
+        assert machine.read_attribute(handles["ST"], "packets") == 20
+        assert machine.fault_stats.injected == 0
+        assert machine.fault_stats.lost == 0
+
+    def test_framing_widens_bus_traffic(self):
+        plain, _ = run_machine(compiled(protected=False))
+        framed, _ = run_machine(compiled(protected=True))
+        assert framed.bus.stats.messages == plain.bus.stats.messages
+        assert framed.bus.stats.bytes_moved > plain.bus.stats.bytes_moved
+
+
+class TestProtectedRecovery:
+    def test_corruption_detected_and_retransmitted(self):
+        plan = FaultPlan(seed=5, default=FaultRates(corrupt=0.3))
+        machine, handles = run_machine(compiled(protected=True), plan)
+        stats = machine.fault_stats
+        assert stats.injected_corruptions > 0
+        assert stats.detected > 0
+        assert stats.retransmissions > 0
+        assert stats.recovered > 0
+        assert stats.lost == 0
+        # every packet still made it through the pipeline
+        assert machine.read_attribute(handles["ST"], "packets") == 20
+
+    def test_drops_recovered_by_retry(self):
+        plan = FaultPlan(seed=5, default=FaultRates(drop=0.3))
+        machine, handles = run_machine(compiled(protected=True), plan)
+        stats = machine.fault_stats
+        assert stats.injected_drops > 0
+        assert stats.retransmissions > 0
+        assert stats.lost == 0
+        assert machine.read_attribute(handles["ST"], "packets") == 20
+
+    def test_duplicates_discarded_by_dedup(self):
+        plan = FaultPlan(seed=5, default=FaultRates(duplicate=1.0))
+        machine, handles = run_machine(compiled(protected=True), plan)
+        stats = machine.fault_stats
+        assert stats.injected_duplicates > 0
+        assert stats.duplicates_discarded == stats.injected_duplicates
+        assert machine.read_attribute(handles["ST"], "packets") == 20
+
+    def test_certain_drop_exhausts_retries_and_counts_critical(self):
+        plan = FaultPlan(seed=5, default=FaultRates(drop=1.0))
+        machine, handles = run_machine(
+            compiled(protected=True, max_retries=2), plan, packets=3)
+        stats = machine.fault_stats
+        assert stats.lost > 0
+        assert stats.critical_lost == stats.lost
+        # every loss burned its full retry budget first
+        assert stats.retransmissions == stats.lost * 2
+        assert machine.read_attribute(handles["ST"], "packets") == 0
+
+
+class TestUnprotectedDegradation:
+    def test_drops_are_counted_silent_losses(self):
+        plan = FaultPlan(seed=5, default=FaultRates(drop=0.4))
+        machine, handles = run_machine(compiled(protected=False), plan)
+        stats = machine.fault_stats
+        assert stats.injected_drops > 0
+        assert stats.lost == stats.injected_drops
+        assert stats.retransmissions == 0
+        assert machine.read_attribute(handles["ST"], "packets") < 20
+
+    def test_corruption_never_raises(self):
+        # heavy corruption across many seeds: the engine must always
+        # degrade (detect-and-drop or deliver-corrupted), never crash
+        for seed in range(6):
+            plan = FaultPlan(seed=seed, default=FaultRates(
+                corrupt=1.0, corrupt_bytes=2))
+            machine, _ = run_machine(compiled(protected=False), plan,
+                                     packets=10)
+            stats = machine.fault_stats
+            # poisoned state stalls the pipeline, so the hop count varies
+            # by seed — but every corrupted frame was either rejected or
+            # delivered, and the run completed without an exception
+            assert stats.injected_corruptions > 0
+            assert (stats.detected + stats.delivered_corrupted
+                    == stats.injected_corruptions)
+
+    def test_delay_reorders_but_delivers(self):
+        plan = FaultPlan(seed=5, default=FaultRates(
+            delay=0.5, delay_ns=40_000))
+        machine, handles = run_machine(compiled(protected=False), plan)
+        assert machine.fault_stats.injected_delays > 0
+        assert machine.fault_stats.lost == 0
+        assert machine.read_attribute(handles["ST"], "packets") == 20
+
+
+class TestReproducibility:
+    def ledger(self, seed, protected=True):
+        plan = FaultPlan.uniform(seed, 0.2)
+        machine, _ = run_machine(compiled(protected=protected), plan)
+        return machine.fault_stats.as_dict()
+
+    def test_same_seed_same_ledger(self):
+        assert self.ledger(9) == self.ledger(9)
+        assert self.ledger(9, protected=False) \
+            == self.ledger(9, protected=False)
+
+    def test_different_seed_different_faults(self):
+        ledgers = {tuple(sorted(self.ledger(seed).items()))
+                   for seed in range(4)}
+        assert len(ledgers) > 1

@@ -91,3 +91,38 @@ class TestVerifyAndSweep:
         out = capsys.readouterr().out
         assert "winner:" in out
         assert "(all software)" in out
+
+
+class TestChaos:
+    def test_chaos_protected_conformant(self, capsys):
+        assert main(["chaos", "microwave", "--rates", "0.0,0.02",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "protected" in out
+        assert "unprotected" in out
+        assert "CONFORMANT" in out
+        assert "framing overhead" in out
+
+    def test_chaos_garbage_rates_rejected(self, capsys):
+        assert main(["chaos", "microwave", "--rates", "abc"]) == 1
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_chaos_rate_out_of_range_rejected(self, capsys):
+        assert main(["chaos", "microwave", "--rates", "0.0,1.5"]) == 1
+        assert "within 0..1" in capsys.readouterr().err
+
+    def test_chaos_unknown_hardware_class_rejected(self, capsys):
+        assert main(["chaos", "microwave", "--hardware", "GHOST",
+                     "--rates", "0.0"]) == 1
+        err = capsys.readouterr().err
+        assert "no class GHOST" in err
+        assert "MO/PT" in err
+
+    def test_chaos_csv_written(self, tmp_path, capsys):
+        csv_path = tmp_path / "chaos.csv"
+        assert main(["chaos", "microwave", "--rates", "0.0",
+                     "--seed", "7", "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("model,protected,rate")
+        # one protected + one unprotected row at the single rate
+        assert len(lines) == 3

@@ -62,6 +62,57 @@ class TestValidation:
             validate_marks(marks, model, strict=True)
 
 
+class TestReliabilityValidation:
+    """The protection vocabulary (crc / maxRetries / ...) stays honest."""
+
+    def test_valid_reliability_marks_pass(self, model):
+        marks = MarkSet()
+        marks.set("control.PT", "crc", "crc16")
+        marks.set("control.PT", "maxRetries", 3)
+        marks.set("control.PT", "retryBackoffNs", 2000)
+        marks.set("control.PT", "isCritical", True)
+        assert validate_marks(marks, model) == []
+
+    def test_unknown_crc_kind_reported(self, model):
+        marks = MarkSet()
+        marks.set("control.PT", "crc", "parity")
+        violations = validate_marks(marks, model)
+        assert any("not one of" in str(v) for v in violations)
+
+    def test_retry_budget_range_checked(self, model):
+        marks = MarkSet()
+        marks.set("control.PT", "crc", "crc8")
+        marks.set("control.PT", "maxRetries", 17)
+        violations = validate_marks(marks, model)
+        assert any("outside 0..16" in str(v) for v in violations)
+
+    def test_retries_without_crc_reported(self, model):
+        marks = MarkSet()
+        marks.set("control.PT", "maxRetries", 2)   # but crc defaults "none"
+        violations = validate_marks(marks, model)
+        assert any("requires a crc" in str(v) for v in violations)
+
+    def test_backoff_must_be_positive(self, model):
+        marks = MarkSet()
+        marks.set("control.PT", "crc", "crc16")
+        marks.set("control.PT", "retryBackoffNs", 0)
+        violations = validate_marks(marks, model)
+        assert any("at least 1 ns" in str(v) for v in violations)
+
+    def test_critical_without_crc_reported(self, model):
+        marks = MarkSet()
+        marks.set("control.PT", "isCritical", True)
+        violations = validate_marks(marks, model)
+        assert any("needs a crc" in str(v) for v in violations)
+
+    def test_zero_retries_with_crc_is_fine(self, model):
+        # detect-only protection: CRC rejects, nothing retransmits
+        marks = MarkSet()
+        marks.set("control.PT", "crc", "crc8")
+        marks.set("control.PT", "maxRetries", 0)
+        assert validate_marks(marks, model) == []
+
+
 class TestDiff:
     def test_added_removed_changed(self):
         old = MarkSet()

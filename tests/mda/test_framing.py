@@ -1,0 +1,197 @@
+"""CRC framing of protected boundary messages (PR 1 tentpole, layer 3).
+
+Both generated halves must emit the identical frame description, the
+codec must round-trip frames and reject corruption, and ``unpack`` must
+degrade malformed bytes into :class:`InterfaceError` — never a raw
+``struct.error`` or ``UnicodeDecodeError``.
+"""
+
+import pytest
+
+from repro.marks import MarkSet, marks_for_partition
+from repro.mda import (
+    InterfaceCodec,
+    InterfaceError,
+    ModelCompiler,
+    Protection,
+    crc8,
+    crc16_ccitt,
+)
+from repro.mda.interfacegen import FRAME_TRAILER_BYTES
+from repro.models import build_microwave_model
+
+
+def protected_build(crc="crc16", max_retries=3):
+    model = build_microwave_model()
+    component = model.components[0]
+    marks = marks_for_partition(component, ("PT",))
+    path = f"{component.name}.PT"
+    marks.set(path, "crc", crc)
+    marks.set(path, "maxRetries", max_retries)
+    marks.set(path, "isCritical", True)
+    return ModelCompiler(model).compile(marks)
+
+
+class TestCrcFunctions:
+    def test_crc8_known_properties(self):
+        assert crc8(b"") == 0
+        assert crc8(b"\x00") == 0
+        assert crc8(b"123456789") == 0xF4      # CRC-8/ATM check value
+
+    def test_crc16_known_properties(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+        assert crc16_ccitt(b"123456789") == 0x29B1   # CCITT-FALSE check
+
+    def test_single_bit_flip_changes_crc(self):
+        data = bytes(range(16))
+        for crc in (crc8, crc16_ccitt):
+            for position in range(len(data)):
+                flipped = bytearray(data)
+                flipped[position] ^= 0x01
+                assert crc(bytes(flipped)) != crc(data)
+
+
+class TestProtectionFromMarks:
+    def test_unmarked_build_has_no_frames(self):
+        model = build_microwave_model()
+        component = model.components[0]
+        build = ModelCompiler(model).compile(
+            marks_for_partition(component, ("PT",)))
+        assert all(not m.protection.enabled
+                   for m in build.interface.messages)
+        codec = InterfaceCodec.from_artifact(
+            build.interface.emit_c_header())
+        assert codec.frames == {}
+
+    def test_marked_receiver_gets_framing(self):
+        build = protected_build()
+        for message in build.interface.messages:
+            assert message.receiver_class == "PT"
+            assert message.protection == Protection(
+                crc="crc16", max_retries=3, critical=True)
+            assert message.frame_bytes == \
+                message.payload_bytes + FRAME_TRAILER_BYTES
+
+    def test_no_marks_at_all_defaults_unprotected(self):
+        model = build_microwave_model()
+        build = ModelCompiler(model).compile(MarkSet())
+        assert all(not m.protection.enabled
+                   for m in build.interface.messages)
+
+
+class TestBothHalvesAgree:
+    def test_frame_lines_identical_in_c_and_vhdl(self):
+        build = protected_build()
+        c_codec = InterfaceCodec.from_artifact(
+            build.interface.emit_c_header())
+        v_codec = InterfaceCodec.from_artifact(
+            build.interface.emit_vhdl_package())
+        assert c_codec.frames == v_codec.frames
+        assert c_codec.frames          # at least one protected message
+        assert c_codec.layouts == v_codec.layouts
+
+    def test_frame_bytes_macro_in_both_artifacts(self):
+        build = protected_build()
+        header = build.interface.emit_c_header()
+        package = build.interface.emit_vhdl_package()
+        for message in build.interface.messages:
+            macro = f"{message.name.upper()}_FRAME_BYTES"
+            assert macro in header
+            assert macro in package
+
+
+class TestFrameRoundtrip:
+    def codec(self, crc="crc16"):
+        build = protected_build(crc=crc)
+        return InterfaceCodec.from_artifact(build.interface.emit_c_header())
+
+    @pytest.mark.parametrize("crc", ["crc8", "crc16"])
+    def test_roundtrip(self, crc):
+        codec = self.codec(crc)
+        name = sorted(codec.frames)[0]
+        payload = codec.pack(name, {
+            field: 0 for field, _t, _o, _w in codec.layouts[name][2]})
+        framed = codec.frame(name, payload, 41)
+        assert len(framed) == codec.frames[name].frame_bytes
+        assert codec.deframe(name, framed) == (payload, 41)
+
+    @pytest.mark.parametrize("crc", ["crc8", "crc16"])
+    def test_any_single_byte_corruption_detected(self, crc):
+        codec = self.codec(crc)
+        name = sorted(codec.frames)[0]
+        payload = codec.pack(name, {
+            field: 3 for field, _t, _o, _w in codec.layouts[name][2]})
+        framed = codec.frame(name, payload, 7)
+        for position in range(len(framed)):
+            mauled = bytearray(framed)
+            mauled[position] ^= 0x5A
+            with pytest.raises(InterfaceError):
+                codec.deframe(name, bytes(mauled))
+
+    def test_wrong_length_rejected(self):
+        codec = self.codec()
+        name = sorted(codec.frames)[0]
+        with pytest.raises(InterfaceError):
+            codec.deframe(name, b"\x00" * 3)
+
+    def test_sequence_survives_wraparound(self):
+        codec = self.codec()
+        name = sorted(codec.frames)[0]
+        payload = codec.pack(name, {
+            field: 0 for field, _t, _o, _w in codec.layouts[name][2]})
+        framed = codec.frame(name, payload, 0x1_0005)   # > 16 bits
+        _p, seq = codec.deframe(name, framed)
+        assert seq == 0x0005
+
+    def test_unframed_message_refuses_framing(self):
+        model = build_microwave_model()
+        component = model.components[0]
+        build = ModelCompiler(model).compile(
+            marks_for_partition(component, ("PT",)))
+        codec = InterfaceCodec.from_artifact(
+            build.interface.emit_c_header())
+        name = sorted(codec.layouts)[0]
+        with pytest.raises(InterfaceError):
+            codec.frame(name, b"\x00" * 4, 1)
+
+
+class TestUnpackRobustness:
+    """Satellite: malformed bytes raise InterfaceError, nothing rawer."""
+
+    def artifact_codec(self):
+        layout = "\n".join([
+            "LAYOUT-MSG m id=1 bytes=24",
+            "LAYOUT-FIELD m target_instance type=unique_id "
+            "offset=0 width=32",
+            "LAYOUT-FIELD m level type=real offset=32 width=64",
+            "LAYOUT-FIELD m tag type=string offset=96 width=64",
+        ])
+        return InterfaceCodec.from_artifact(layout)
+
+    def test_short_real_chunk_is_interface_error(self):
+        codec = self.artifact_codec()
+        # 24 bytes expected by the layout, but give the real field a
+        # truncated view by shortening the declared message
+        bad = InterfaceCodec({"m": (1, 8, [("level", "real", 32, 64)])})
+        with pytest.raises(InterfaceError):
+            bad.unpack("m", b"\x00" * 8)
+
+    def test_invalid_utf8_is_interface_error(self):
+        codec = self.artifact_codec()
+        payload = bytearray(24)
+        payload[12:20] = b"\xff\xfe\xfd\xfc\xfb\xfa\xf9\xf8"
+        with pytest.raises(InterfaceError) as excinfo:
+            codec.unpack("m", bytes(payload))
+        assert "malformed bytes" in str(excinfo.value)
+
+    def test_wrong_length_still_interface_error(self):
+        codec = self.artifact_codec()
+        with pytest.raises(InterfaceError):
+            codec.unpack("m", b"\x00" * 5)
+
+    def test_valid_payload_still_decodes(self):
+        codec = self.artifact_codec()
+        packed = codec.pack("m", {
+            "target_instance": 9, "level": 2.5, "tag": "ok"})
+        values = codec.unpack("m", packed)
+        assert values == {"target_instance": 9, "level": 2.5, "tag": "ok"}
