@@ -10,6 +10,8 @@ The tool surface a downstream user drives without writing Python:
 * ``verify``  — run a catalog model's formal suite on all platforms
 * ``sweep``   — co-simulate candidate partitions of the packet SoC
 * ``chaos``   — replay a formal suite under injected bus faults (E8)
+* ``batch``   — compile the catalog × mark-variant matrix in parallel
+  against the content-addressed build cache (E9)
 
 Model files are the JSON format of :mod:`repro.xuml.serialize`; marking
 files are the sticky-note format of :class:`repro.marks.MarkSet`.
@@ -150,6 +152,59 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    from repro.build import (
+        ArtifactStore,
+        StoreError,
+        catalog_matrix,
+        render_batch_table,
+        render_cache_summary,
+        run_batch,
+        write_batch_csv,
+    )
+
+    if args.jobs < 1:
+        print(f"batch: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 1
+    if args.min_hit_rate is not None and not 0.0 <= args.min_hit_rate <= 1.0:
+        print(f"batch: --min-hit-rate must be within 0..1, got "
+              f"{args.min_hit_rate}", file=sys.stderr)
+        return 1
+    try:
+        matrix = catalog_matrix(tuple(args.models) or None)
+    except KeyError as exc:
+        print(f"batch: {exc.args[0]}", file=sys.stderr)
+        return 1
+    cache_dir = None if args.no_cache else args.cache_dir
+    if cache_dir is not None:
+        try:
+            store = ArtifactStore(cache_dir)
+            probe = store.root / ".write-probe"
+            probe.write_text("")
+            probe.unlink()
+        except (StoreError, OSError) as exc:
+            print(f"batch: cache directory {cache_dir!r} is not "
+                  f"writable: {exc}", file=sys.stderr)
+            return 1
+    report = run_batch(matrix, jobs=args.jobs, cache_dir=cache_dir,
+                       use_cache=not args.no_cache, gc_bytes=args.gc_bytes)
+    print(render_batch_table(report))
+    print(render_cache_summary(report))
+    if args.csv:
+        print(f"wrote {write_batch_csv(report, args.csv)}")
+    for result in report.failed:
+        print(f"batch: {result.job.label} failed: {result.error}",
+              file=sys.stderr)
+    if (args.min_hit_rate is not None
+            and report.hit_rate < args.min_hit_rate):
+        print(f"batch: cache hit rate {report.hit_rate * 100:.1f}% is "
+              f"below the required {args.min_hit_rate * 100:.0f}%",
+              file=sys.stderr)
+        return 1
+    return 1 if report.failed else 0
+
+
 def cmd_chaos(args) -> int:
     from repro.models import build_model
     from repro.verify import chaos_sweep
@@ -278,6 +333,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=7, help="workload seed")
     sweep.add_argument("--csv", help="also write results to this CSV file")
     sweep.set_defaults(func=cmd_sweep)
+
+    batch = commands.add_parser(
+        "batch",
+        help="compile the catalog x mark-variant matrix against the "
+             "build cache (E9)")
+    batch.add_argument("models", nargs="*",
+                       help="catalog model names (default: all)")
+    batch.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes (>= 1; default 1)")
+    batch.add_argument("--cache-dir", default=".repro-cache",
+                       help="content-addressed artifact cache directory")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="compile everything from scratch (no store)")
+    batch.add_argument("--gc-bytes", type=int, default=None,
+                       help="evict least-recently-used cache objects "
+                            "beyond this byte budget")
+    batch.add_argument("--min-hit-rate", type=float, default=None,
+                       help="exit 1 unless the cache hit rate reaches "
+                            "this fraction (CI smoke)")
+    batch.add_argument("--csv",
+                       help="also write per-job results to this CSV file")
+    batch.set_defaults(func=cmd_batch)
 
     chaos = commands.add_parser(
         "chaos",

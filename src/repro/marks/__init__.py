@@ -23,6 +23,7 @@ from .partition import (
     all_partitions,
     derive_partition,
     marks_for_partition,
+    partition_from_flows,
     signal_flows,
 )
 from .validate import MarkViolation, validate_marks
@@ -44,6 +45,7 @@ __all__ = [
     "derive_partition",
     "diff_marks",
     "marks_for_partition",
+    "partition_from_flows",
     "partition_change_cost",
     "signal_flows",
     "validate_marks",

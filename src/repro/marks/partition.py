@@ -96,6 +96,19 @@ def derive_partition(
     model: Model, component: Component, marks: MarkSet
 ) -> Partition:
     """Compute the partition the marks describe."""
+    return partition_from_flows(
+        component, marks, signal_flows(model, component))
+
+
+def partition_from_flows(
+    component: Component, marks: MarkSet, flows: tuple[SignalFlow, ...]
+) -> Partition:
+    """Derive the partition from marks and precomputed signal flows.
+
+    Flow discovery re-parses every state activity, but the flows depend
+    only on the model — not the marks — so retarget-heavy callers (the
+    incremental build cache) compute them once and re-split cheaply here.
+    """
     hardware: list[str] = []
     software: list[str] = []
     for klass in component.classes:
@@ -104,7 +117,6 @@ def derive_partition(
             hardware.append(klass.key_letters)
         else:
             software.append(klass.key_letters)
-    flows = signal_flows(model, component)
     side = {key: "hw" for key in hardware}
     side.update({key: "sw" for key in software})
     boundary = tuple(

@@ -15,14 +15,21 @@ interface was generated."
 4. emit C for the software classes, VHDL for the hardware classes,
    the kernel/runtime support files, and both halves of the generated
    interface — all collected into a :class:`Build`.
+
+The emission steps are module-level pure functions of the manifest so
+that :class:`repro.build.IncrementalCompiler` can replay any subset of
+them against cached inputs and produce byte-identical artifacts.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 
 from repro.marks.model import MarkSet
 from repro.marks.partition import Partition, derive_partition
+from repro.xuml.component import Component
 from repro.xuml.model import Model
 
 from .cgen import CGenerator
@@ -33,6 +40,117 @@ from .naming import c_ident, vhdl_ident
 from .rules import RuleSet
 from .vhdlgen import VhdlGenerator
 from .vlint import lint_vhdl
+
+
+@dataclass(frozen=True)
+class ClassPlan:
+    """Which emitter claims each class, per the mapping rules."""
+
+    #: class key letters -> name of the mapping rule that claimed it
+    rules_applied: dict[str, str]
+    software: tuple[str, ...]
+    hardware: tuple[str, ...]
+    systemc: tuple[str, ...]
+
+    def target_of(self, class_key: str) -> str:
+        if class_key in self.hardware:
+            return "vhdl"
+        if class_key in self.systemc:
+            return "systemc"
+        return "c"
+
+
+def classify_classes(
+    component: Component, rules: RuleSet, marks: MarkSet
+) -> ClassPlan:
+    """Resolve every class of *component* to its mapping target."""
+    rules_applied: dict[str, str] = {}
+    software: list[str] = []
+    hardware: list[str] = []
+    systemc: list[str] = []
+    for klass in component.classes:
+        path = f"{component.name}.{klass.key_letters}"
+        rule = rules.resolve(path, marks)
+        rules_applied[klass.key_letters] = rule.name
+        if rule.target == "vhdl":
+            hardware.append(klass.key_letters)
+        elif rule.target == "systemc":
+            systemc.append(klass.key_letters)
+        else:
+            software.append(klass.key_letters)
+    return ClassPlan(
+        rules_applied, tuple(software), tuple(hardware), tuple(systemc)
+    )
+
+
+def emit_types_artifacts(
+    manifest: ComponentManifest, component_name: str
+) -> dict[str, str]:
+    """The shared C types header (emitted for every build)."""
+    comp = c_ident(component_name)
+    return {f"{comp}_types.h": CGenerator(manifest).emit_types_header()}
+
+
+def emit_c_runtime_artifacts(
+    manifest: ComponentManifest, component_name: str
+) -> dict[str, str]:
+    """The single-task software architecture (when any class is software)."""
+    comp = c_ident(component_name)
+    cgen = CGenerator(manifest)
+    return {
+        f"{comp}_arch_rt.h": cgen.emit_arch_header(),
+        f"{comp}_kernel.c": cgen.emit_kernel_source(),
+    }
+
+
+def emit_vhdl_runtime_artifacts(
+    manifest: ComponentManifest, component_name: str
+) -> dict[str, str]:
+    """The clocked hardware runtime package (when any class is hardware)."""
+    return {
+        f"{vhdl_ident(component_name)}_rt_pkg.vhd": (
+            VhdlGenerator(manifest).emit_runtime_package()),
+    }
+
+
+def emit_class_artifacts(
+    manifest: ComponentManifest, component_name: str, class_key: str,
+    target: str, marks: MarkSet,
+) -> dict[str, str]:
+    """Every artifact attributable to one class under one mapping target."""
+    klass = manifest.classes[class_key]
+    if target == "vhdl":
+        clock = marks.get(f"{component_name}.{class_key}", "clock_mhz")
+        return {
+            f"{vhdl_ident(klass.name)}.vhd": (
+                VhdlGenerator(manifest).emit_entity(klass, clock_mhz=clock)),
+        }
+    if target == "systemc":
+        from .syscgen import SystemCGenerator
+
+        return {
+            f"{c_ident(klass.name)}_sc.h": (
+                SystemCGenerator(manifest).emit_module(klass)),
+        }
+    comp = c_ident(component_name)
+    kl = c_ident(class_key)
+    cgen = CGenerator(manifest)
+    return {
+        f"{comp}_{kl}.h": cgen.emit_class_header(klass),
+        f"{comp}_{kl}.c": cgen.emit_class_source(klass),
+    }
+
+
+def emit_interface_artifacts(
+    interface: InterfaceSpec, component_name: str
+) -> dict[str, str]:
+    """Both halves of the generated interface, from the one spec."""
+    comp = c_ident(component_name)
+    return {
+        f"{comp}_interface.h": interface.emit_c_header(),
+        f"{vhdl_ident(component_name)}_interface_pkg.vhd": (
+            interface.emit_vhdl_package()),
+    }
 
 
 @dataclass
@@ -84,7 +202,12 @@ class Build:
         return findings
 
     def write_to(self, directory) -> list[str]:
-        """Materialize the artifacts on disk; returns written paths."""
+        """Materialize the artifacts on disk; returns written paths.
+
+        Each file is written to a temporary sibling and renamed into
+        place, so an interrupted export never leaves a partial artifact
+        — readers see either the old text or the new, never a torn file.
+        """
         import pathlib
 
         root = pathlib.Path(directory)
@@ -92,7 +215,17 @@ class Build:
         written = []
         for path, text in sorted(self.artifacts.items()):
             target = root / path
-            target.write_text(text)
+            fd, tmp = tempfile.mkstemp(dir=root, prefix=f".{path}.")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
             written.append(str(target))
         return written
 
@@ -120,71 +253,45 @@ class ModelCompiler:
         """Run the full mapping pipeline for *marks*."""
         manifest = build_manifest(self.model, self.component)
         partition = derive_partition(self.model, self.component, marks)
+        return self.assemble(manifest, partition, marks)
+
+    def assemble(
+        self, manifest: ComponentManifest, partition: Partition,
+        marks: MarkSet,
+    ) -> Build:
+        """Emit every artifact for precomputed *manifest* + *partition*."""
+        name = self.component.name
         interface = build_interface_spec(manifest, partition, marks)
+        plan = classify_classes(self.component, self.rules, marks)
 
-        rules_applied: dict[str, str] = {}
         artifacts: dict[str, str] = {}
-        comp = c_ident(self.component.name)
-
-        cgen = CGenerator(manifest)
-        vgen = VhdlGenerator(manifest)
-
-        software: list[str] = []
-        hardware: list[str] = []
-        systemc: list[str] = []
-        for klass in self.component.classes:
-            path = f"{self.component.name}.{klass.key_letters}"
-            rule = self.rules.resolve(path, marks)
-            rules_applied[klass.key_letters] = rule.name
-            if rule.target == "vhdl":
-                hardware.append(klass.key_letters)
-            elif rule.target == "systemc":
-                systemc.append(klass.key_letters)
-            else:
-                software.append(klass.key_letters)
-
-        artifacts[f"{comp}_types.h"] = cgen.emit_types_header()
-        if software:
-            artifacts[f"{comp}_arch_rt.h"] = cgen.emit_arch_header()
-            artifacts[f"{comp}_kernel.c"] = cgen.emit_kernel_source()
-            for key in software:
-                klass = manifest.classes[key]
-                kl = c_ident(key)
-                artifacts[f"{comp}_{kl}.h"] = cgen.emit_class_header(klass)
-                artifacts[f"{comp}_{kl}.c"] = cgen.emit_class_source(klass)
-        if hardware:
-            artifacts[f"{vhdl_ident(self.component.name)}_rt_pkg.vhd"] = (
-                vgen.emit_runtime_package())
-            for key in hardware:
-                klass = manifest.classes[key]
-                clock = marks.get(
-                    f"{self.component.name}.{key}", "clock_mhz")
-                artifacts[f"{vhdl_ident(klass.name)}.vhd"] = (
-                    vgen.emit_entity(klass, clock_mhz=clock))
-
-        if systemc:
-            from .syscgen import SystemCGenerator
-
-            scgen = SystemCGenerator(manifest)
-            for key in systemc:
-                klass = manifest.classes[key]
-                artifacts[f"{c_ident(klass.name)}_sc.h"] = (
-                    scgen.emit_module(klass))
+        artifacts.update(emit_types_artifacts(manifest, name))
+        if plan.software:
+            artifacts.update(emit_c_runtime_artifacts(manifest, name))
+            for key in plan.software:
+                artifacts.update(
+                    emit_class_artifacts(manifest, name, key, "c", marks))
+        if plan.hardware:
+            artifacts.update(emit_vhdl_runtime_artifacts(manifest, name))
+            for key in plan.hardware:
+                artifacts.update(
+                    emit_class_artifacts(manifest, name, key, "vhdl", marks))
+        for key in plan.systemc:
+            artifacts.update(
+                emit_class_artifacts(manifest, name, key, "systemc", marks))
 
         # the generated interface: both halves from one spec, always
-        artifacts[f"{comp}_interface.h"] = interface.emit_c_header()
-        artifacts[f"{vhdl_ident(self.component.name)}_interface_pkg.vhd"] = (
-            interface.emit_vhdl_package())
+        artifacts.update(emit_interface_artifacts(interface, name))
 
         # a snapshot of the sticky notes this build answered to
         artifacts["marks.mks"] = marks.dumps()
 
         return Build(
             model=self.model,
-            component_name=self.component.name,
+            component_name=name,
             manifest=manifest,
             partition=partition,
             interface=interface,
-            rules_applied=rules_applied,
+            rules_applied=plan.rules_applied,
             artifacts=artifacts,
         )

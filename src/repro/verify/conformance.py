@@ -76,13 +76,20 @@ class ConformanceReport:
 
 
 def check_conformance(
-    model: Model, cases: list[TestCase], include_traces: bool = True
+    model: Model, cases: list[TestCase], include_traces: bool = True,
+    store=None,
 ) -> ConformanceReport:
-    """Run *cases* on all standard targets of *model*."""
+    """Run *cases* on all standard targets of *model*.
+
+    *store* (an :class:`repro.build.ArtifactStore`) makes the per-case
+    target rebuilds hit the artifact cache: the first case pays for the
+    compilation, the rest reuse it.
+    """
     report = ConformanceReport(model.name)
     names: tuple[str, ...] = ()
     for case in cases:
-        targets = standard_targets(model)   # fresh platforms per case
+        # fresh platforms per case (cached artifacts when store given)
+        targets = standard_targets(model, store=store)
         names = tuple(target.name for target in targets)
         conformance = CaseConformance(case.name)
         summaries = []

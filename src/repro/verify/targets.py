@@ -132,13 +132,17 @@ class CoSimTarget(Target):
         return self._engine.run(horizon_us=time_us)
 
 
-def standard_targets(model: Model, marks: MarkSet | None = None
-                     ) -> list[Target]:
+def standard_targets(model: Model, marks: MarkSet | None = None,
+                     store=None) -> list[Target]:
     """The three platforms every model is verified on (E3).
 
     The C target compiles the model all-software, the VHDL target
     all-hardware — each architecture then executes *every* class, which
     is the strongest conformance statement a single target can make.
+
+    With *store* (an :class:`repro.build.ArtifactStore`) the builds come
+    from the incremental compiler, so suites that rebuild targets per
+    case reuse cached artifacts instead of recompiling from scratch.
     """
     component = model.components[0]
     if marks is None:
@@ -147,8 +151,14 @@ def standard_targets(model: Model, marks: MarkSet | None = None
             component, tuple(component.class_keys))
     else:
         sw_marks = hw_marks = marks
-    sw_build = ModelCompiler(model).compile(sw_marks)
-    hw_build = ModelCompiler(model).compile(hw_marks)
+    if store is None:
+        compiler = ModelCompiler(model)
+    else:
+        from repro.build import IncrementalCompiler
+
+        compiler = IncrementalCompiler(model, store=store)
+    sw_build = compiler.compile(sw_marks)
+    hw_build = compiler.compile(hw_marks)
     return [
         AbstractTarget(model),
         CSimTarget(sw_build),

@@ -93,6 +93,74 @@ class TestVerifyAndSweep:
         assert "(all software)" in out
 
 
+class TestBatch:
+    def test_batch_runs_and_summarizes(self, tmp_path, capsys):
+        assert main(["batch", "microwave", "checksum",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "sw-only" in out
+        assert "hit rate" in out
+
+    def test_second_run_hits_the_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["batch", "microwave", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch", "microwave", "--cache-dir", cache,
+                     "--min-hit-rate", "0.9"]) == 0
+        assert "hit rate 100.0%" in capsys.readouterr().out
+
+    def test_min_hit_rate_fails_a_cold_cache(self, tmp_path, capsys):
+        assert main(["batch", "microwave",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--min-hit-rate", "0.9"]) == 1
+        assert "below the required 90%" in capsys.readouterr().err
+
+    def test_parallel_jobs_accepted(self, tmp_path, capsys):
+        assert main(["batch", "microwave", "checksum", "--jobs", "2",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "on 2 worker(s)" in capsys.readouterr().out
+
+    def test_no_cache_flag_skips_the_store(self, tmp_path, capsys):
+        assert main(["batch", "checksum", "--no-cache",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "0 hits / 0 lookups" in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()
+
+    def test_jobs_below_one_rejected(self, tmp_path, capsys):
+        assert main(["batch", "microwave", "--jobs", "0",
+                     "--cache-dir", str(tmp_path / "cache")]) == 1
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_unwritable_cache_dir_rejected(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        assert main(["batch", "microwave",
+                     "--cache-dir", str(blocker / "cache")]) == 1
+        assert "is not writable" in capsys.readouterr().err
+
+    def test_unknown_model_rejected(self, tmp_path, capsys):
+        assert main(["batch", "ghost",
+                     "--cache-dir", str(tmp_path / "cache")]) == 1
+        err = capsys.readouterr().err
+        assert "no catalog model named ghost" in err
+        assert "microwave" in err
+
+    def test_bad_min_hit_rate_rejected(self, tmp_path, capsys):
+        assert main(["batch", "microwave",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--min-hit-rate", "1.5"]) == 1
+        assert "within 0..1" in capsys.readouterr().err
+
+    def test_batch_csv_written(self, tmp_path, capsys):
+        csv_path = tmp_path / "batch.csv"
+        assert main(["batch", "checksum",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("model,variant,ok")
+        assert len(lines) == 5  # sw-only + 2 classes + hw-all + header
+
+
 class TestChaos:
     def test_chaos_protected_conformant(self, capsys):
         assert main(["chaos", "microwave", "--rates", "0.0,0.02",

@@ -175,7 +175,46 @@ class TestTutorialSteps:
         assert machine.fault_stats.lost > 0
         assert machine.read_attribute(fi, "count") < 10
 
-    def test_step_7_serialize(self):
+    def test_step_7_batch_build(self, tmp_path):
+        from repro.build import ArtifactStore, IncrementalCompiler
+        from repro.build import clear_manifest_memo
+
+        clear_manifest_memo()
+        model = build_sensor_node()
+        store = ArtifactStore(tmp_path / "build-cache")
+        compiler = IncrementalCompiler(model, store=store)
+
+        marks = MarkSet()
+        marks.set("node.FI", "isHardware", True)
+        compiler.compile(marks)
+        cold = compiler.last_stats
+        assert cold.classes_compiled == 2
+        assert cold.classes_reused == 0
+        assert not cold.manifest_reused
+
+        marks.set("node.SA", "isHardware", True)
+        warm_build = compiler.compile(marks)
+        warm = compiler.last_stats
+        # only the moved class was recompiled; the manifest was reused
+        assert warm.classes_compiled == 1
+        assert warm.classes_reused == 1
+        assert warm.manifest_reused
+
+        # and the cache is honest: cold compile, same bytes
+        gold = ModelCompiler(model).compile(marks)
+        assert warm_build.artifacts == gold.artifacts
+
+    def test_step_7_batch_cli_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = str(tmp_path / "build-cache")
+        assert main(["batch", "checksum", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch", "checksum", "--cache-dir", cache,
+                     "--min-hit-rate", "0.9"]) == 0
+        assert "hit rate 100.0%" in capsys.readouterr().out
+
+    def test_step_8_serialize(self):
         model = build_sensor_node()
         text = model_to_json(model)
         assert model_to_json(model_from_json(text)) == text

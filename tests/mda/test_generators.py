@@ -146,6 +146,52 @@ class TestCompilerAssembly:
         assert len(written) == len(build.artifacts)
         assert (tmp_path / "marks.mks").exists()
 
+    def test_write_to_is_atomic(self, tmp_path, monkeypatch):
+        """An export interrupted mid-file leaves no partial artifact —
+        the target is either absent or carries complete prior text."""
+        import os
+
+        model = build_microwave_model()
+        component = model.components[0]
+        build = ModelCompiler(model).compile(
+            marks_for_partition(component, ("PT",)))
+        victim = sorted(build.artifacts)[3]
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            if str(dst).endswith(victim):
+                raise KeyboardInterrupt("simulated ctrl-C mid-export")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        try:
+            build.write_to(tmp_path)
+        except KeyboardInterrupt:
+            pass
+        monkeypatch.undo()
+
+        # the interrupted artifact never appeared, not even truncated,
+        # and no temp droppings remain
+        assert not (tmp_path / victim).exists()
+        assert not [p for p in tmp_path.iterdir()
+                    if p.name.startswith(".")]
+        # everything that did land is complete
+        for path in tmp_path.iterdir():
+            assert path.read_text() == build.artifacts[path.name]
+
+    def test_write_to_overwrites_previous_export(self, tmp_path):
+        model = build_microwave_model()
+        component = model.components[0]
+        compiler = ModelCompiler(model)
+        compiler.compile(
+            marks_for_partition(component, ())).write_to(tmp_path)
+        retargeted = compiler.compile(
+            marks_for_partition(component, ("PT",)))
+        retargeted.write_to(tmp_path)
+        assert (tmp_path / "marks.mks").read_text() == \
+            retargeted.artifacts["marks.mks"]
+
     def test_lines_for_class(self):
         model = build_packetproc_model()
         component = model.components[0]
