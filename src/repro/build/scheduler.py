@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.marks.partition import marks_for_partition
 from repro.models.catalog import CATALOG, build_model
+from repro.obs.metrics import active_registry
 
 from .fingerprint import artifacts_digest
 from .incremental import IncrementalCompiler
@@ -271,9 +272,32 @@ def run_batch(
                         error=f"{type(exc).__name__}: {exc}")
 
     ordered = [results[index] for index in range(len(matrix))]
-    return BatchReport(
+    report = BatchReport(
         results=ordered,
         jobs=jobs,
         elapsed_s=time.perf_counter() - start,
         worker_failures=worker_failures,
     )
+    registry = active_registry()
+    if registry is not None:
+        # Pool workers are separate processes, so their registry copies
+        # die with them — fold the batch's numbers in here, from the
+        # results, where they are authoritative either way.
+        wall = registry.histogram(
+            "build.job_wall_ms",
+            buckets=(1, 5, 10, 50, 100, 500, 1_000, 5_000))
+        for result in ordered:
+            wall.observe(result.elapsed_s * 1_000)
+        registry.counter("build.jobs_ok").inc(
+            sum(1 for r in ordered if r.ok))
+        registry.counter("build.jobs_failed").inc(len(report.failed))
+        registry.counter("build.worker_failures").inc(worker_failures)
+        if jobs > 1:
+            # inline stores (jobs == 1) already reported live; only the
+            # workers' slices need folding in
+            store = report.store
+            registry.counter("build.store.hits").inc(store.hits)
+            registry.counter("build.store.misses").inc(store.misses)
+            registry.counter("build.store.puts").inc(store.puts)
+            registry.counter("build.store.evictions").inc(store.evictions)
+    return report

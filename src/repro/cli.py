@@ -12,6 +12,10 @@ The tool surface a downstream user drives without writing Python:
 * ``chaos``   — replay a formal suite under injected bus faults (E8)
 * ``batch``   — compile the catalog × mark-variant matrix in parallel
   against the content-addressed build cache (E9)
+* ``trace``   — export a run's execution trace as versioned JSONL (or
+  load/verify one), with optional critical-path analysis (E10)
+* ``metrics`` — run a model through the runtime, the co-simulation and
+  the build cache with the metrics registry active and report it
 
 Model files are the JSON format of :mod:`repro.xuml.serialize`; marking
 files are the sticky-note format of :class:`repro.marks.MarkSet`.
@@ -272,6 +276,132 @@ def _write_chaos_csv(path: str, *reports) -> None:
                 ])
 
 
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        TraceSchemaError,
+        critical_path,
+        dump_jsonl,
+        load_jsonl,
+    )
+
+    if args.load is not None:
+        source = pathlib.Path(args.load)
+        try:
+            text = source.read_text()
+        except OSError as exc:
+            print(f"trace: cannot read {args.load!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        try:
+            trace = load_jsonl(text)
+        except TraceSchemaError as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 1
+        if args.check:
+            if dump_jsonl(trace) != text:
+                print("trace: round-trip is not byte-identical",
+                      file=sys.stderr)
+                return 1
+            print(f"{args.load}: valid {len(trace)}-event trace, "
+                  f"round-trips byte-identically")
+    else:
+        from repro.models import build_model
+        from repro.verify import AbstractTarget, run_case, suite_for
+
+        if args.name is None:
+            print("trace: a catalog model name (or --load FILE) is "
+                  "required", file=sys.stderr)
+            return 1
+        try:
+            suite = suite_for(args.name)
+        except KeyError as exc:
+            print(f"trace: {exc.args[0]}", file=sys.stderr)
+            return 1
+        if args.case is None:
+            case = suite[0]
+        else:
+            matches = [c for c in suite if c.name == args.case]
+            if not matches:
+                print(f"trace: no case {args.case!r} in the {args.name} "
+                      f"suite (have "
+                      f"{'/'.join(c.name for c in suite)})",
+                      file=sys.stderr)
+                return 1
+            case = matches[0]
+        target = AbstractTarget(build_model(args.name))
+        result = run_case(case, target)
+        if result.error:
+            print(f"trace: case {case.name} errored: {result.error}",
+                  file=sys.stderr)
+            return 1
+        trace = target.trace
+
+    if args.output:
+        pathlib.Path(args.output).write_text(dump_jsonl(trace))
+        print(f"wrote {args.output} ({len(trace)} events)")
+    if args.critical:
+        print(critical_path(trace).render())
+    if not args.output and not args.critical and args.load is None:
+        sys.stdout.write(dump_jsonl(trace))
+    return 0
+
+
+#: Metric-name prefixes ``repro metrics --require`` insists on seeing.
+_METRIC_GROUPS = ("runtime.", "cosim.", "build.")
+
+
+def cmd_metrics(args) -> int:
+    import json
+    import tempfile
+
+    from repro.build import BatchJob, run_batch
+    from repro.models import build_model
+    from repro.obs import observe
+    from repro.verify import (
+        AbstractTarget,
+        CoSimTarget,
+        chaos_build,
+        run_case,
+        suite_for,
+    )
+
+    try:
+        suite = suite_for(args.name)
+    except KeyError as exc:
+        print(f"metrics: {exc.args[0]}", file=sys.stderr)
+        return 1
+    with observe() as registry:
+        # runtime: the formal suite on the abstract model
+        for case in suite:
+            run_case(case, AbstractTarget(build_model(args.name)))
+        # co-sim + bus: one case across the default boundary partition
+        cosim = CoSimTarget(chaos_build(args.name))
+        run_case(suite[0], cosim)
+        cosim.engine.utilization_report()
+        # build cache: the same job twice — a cold miss, then a warm hit
+        with tempfile.TemporaryDirectory() as tmp:
+            job = BatchJob(args.name, "sw-only", ())
+            run_batch([job, job], jobs=1, cache_dir=tmp)
+
+    if args.json:
+        print(json.dumps(registry.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(registry.render_table())
+    if args.require:
+        quiet = [
+            group for group in _METRIC_GROUPS
+            if not any(c.value for c in registry.counters
+                       if c.name.startswith(group))
+            and not any(h.count for h in registry.histograms
+                        if h.name.startswith(group))
+        ]
+        if quiet:
+            print(f"metrics: no activity recorded under "
+                  f"{'/'.join(quiet)}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -369,6 +499,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection seed (runs reproduce exactly)")
     chaos.add_argument("--csv", help="also write both sweeps to this CSV file")
     chaos.set_defaults(func=cmd_chaos)
+
+    trace = commands.add_parser(
+        "trace",
+        help="export a run's trace as versioned JSONL, or load/verify "
+             "one (E10)")
+    trace.add_argument("name", nargs="?",
+                       help="catalog model name to run and trace")
+    trace.add_argument("--case",
+                       help="suite case to run (default: the first)")
+    trace.add_argument("--load", metavar="FILE",
+                       help="load an existing JSONL trace instead of "
+                            "running a model")
+    trace.add_argument("--check", action="store_true",
+                       help="with --load: exit 1 unless the stream "
+                            "round-trips byte-identically")
+    trace.add_argument("--critical", action="store_true",
+                       help="print the trace's critical path")
+    trace.add_argument("-o", "--output",
+                       help="write the JSONL stream to this file")
+    trace.set_defaults(func=cmd_trace)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="exercise a model across the runtime, the co-sim and the "
+             "build cache and report the metrics registry")
+    metrics.add_argument("name", help="catalog model name")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the registry snapshot as JSON")
+    metrics.add_argument("--require", action="store_true",
+                         help="exit 1 unless runtime/cosim/build metrics "
+                              "all recorded activity (CI smoke)")
+    metrics.set_defaults(func=cmd_metrics)
 
     return parser
 

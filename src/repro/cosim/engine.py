@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 from repro.mda.archrt import ArchError, TargetMachine
 from repro.mda.compiler import Build
 from repro.mda.interfacegen import InterfaceCodec, InterfaceError
+from repro.obs.metrics import active_registry
 from repro.runtime.events import InstanceQueue, SignalInstance
 
 from .bus import Bus, BusRequest
@@ -119,6 +120,29 @@ class CoSimMachine(TargetMachine):
         #: observers: callables (time_ns, signal) for sent/consumed signals
         self.on_sent: list = []
         self.on_consumed: list = []
+        registry = active_registry()
+        if registry is None:
+            self._m_routed = None
+            self._m_retransmissions = None
+            self._m_latency = None
+            self._m_service = None
+            self._m_sent_ns: dict[int, int] | None = None
+        else:
+            ns_buckets = (100, 1_000, 10_000, 100_000,
+                          1_000_000, 10_000_000, 100_000_000)
+            self._m_routed = registry.counter("cosim.signals_routed")
+            self._m_retransmissions = registry.counter("cosim.retransmissions")
+            self._m_latency = {
+                side: registry.histogram(
+                    f"cosim.signal_latency_ns.{side}", buckets=ns_buckets)
+                for side in ("sw", "hw")
+            }
+            self._m_service = {
+                side: registry.histogram(
+                    f"cosim.service_ns.{side}", buckets=ns_buckets)
+                for side in ("sw", "hw")
+            }
+            self._m_sent_ns = {}
 
     # -- sides ------------------------------------------------------------------
 
@@ -142,6 +166,9 @@ class CoSimMachine(TargetMachine):
         """Send *signal* towards its receiver, via the bus if it crosses."""
         for observer in self.on_sent:
             observer(ready_ns, signal)
+        if self._m_routed is not None:
+            self._m_routed.inc()
+            self._m_sent_ns[signal.sequence] = ready_ns
         sender_side = None
         if signal.sender_handle is not None:
             sender_side = self.side_of_class(
@@ -410,6 +437,8 @@ class CoSimMachine(TargetMachine):
                 if not transfer.done:
                     if transfer.attempts <= transfer.max_retries:
                         self.fault_stats.retransmissions += 1
+                        if self._m_retransmissions is not None:
+                            self._m_retransmissions.inc()
                         self._send_attempt(transfer, self.now)
                     else:
                         self._count_lost(transfer)
@@ -493,6 +522,10 @@ class CoSimMachine(TargetMachine):
         start = self.now
         for observer in self.on_consumed:
             observer(start, signal)
+        if self._m_latency is not None:
+            sent_at = self._m_sent_ns.pop(signal.sequence, None)
+            if sent_at is not None:
+                self._m_latency[side].observe(start - sent_at)
         try:
             self.dispatch(signal)
         except ArchError:
@@ -525,6 +558,8 @@ class CoSimMachine(TargetMachine):
             if stats is not None:
                 stats.busy_ns += duration
                 stats.dispatches += 1
+        if self._m_service is not None:
+            self._m_service[side].observe(duration)
         end = start + duration
         for emitted_signal, delay in emitted:
             self._route(emitted_signal, end + delay * US_TO_NS)
@@ -540,4 +575,8 @@ class CoSimMachine(TargetMachine):
                   "bus": self.bus.stats.utilization(horizon)}
         for key, stats in self.hw_stats.items():
             report[f"hw:{key}"] = stats.utilization(horizon)
+        registry = active_registry()
+        if registry is not None:
+            for name, value in report.items():
+                registry.gauge(f"cosim.occupancy.{name}").set(value)
         return report

@@ -11,18 +11,33 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import percentile_nearest_rank
+
 from .engine import CoSimMachine
 
 
 @dataclass
 class LatencySample:
+    """One correlated start→end observation.
+
+    ``start_ns`` is the *first* send of the key (end-to-end latency
+    includes retransmission time); ``last_start_ns`` is the most recent
+    send, so ``last_start_ns > start_ns`` marks a resent measurement.
+    """
+
     key: object
     start_ns: int
     end_ns: int
+    last_start_ns: int | None = None
 
     @property
     def latency_ns(self) -> int:
         return self.end_ns - self.start_ns
+
+    @property
+    def was_resent(self) -> bool:
+        return (self.last_start_ns is not None
+                and self.last_start_ns != self.start_ns)
 
 
 class LatencyProbe:
@@ -31,6 +46,13 @@ class LatencyProbe:
     ``start`` fires when a signal with the given (class, label) is *sent*
     and ``end`` when one is *consumed*; samples are correlated on the
     value of ``key_param`` (e.g. ``pkt_id``).
+
+    A signal that carries no usable correlation key cannot be measured:
+    it is dropped and tallied in :attr:`unmatched` rather than silently
+    correlated on ``None`` (which would collapse every keyless signal
+    into one bogus sample).  Retransmitted starts are tracked explicitly
+    as first-send vs. last-send — the sample's latency runs from the
+    first send, and :attr:`resent` counts the repeats.
     """
 
     def __init__(
@@ -43,8 +65,13 @@ class LatencyProbe:
         self._start = start
         self._end = end
         self._key_param = key_param
-        self._open: dict[object, int] = {}
+        self._first_send: dict[object, int] = {}
+        self._last_send: dict[object, int] = {}
         self.samples: list[LatencySample] = []
+        #: signals with no usable key, or ends with no matching start
+        self.unmatched = 0
+        #: start observations repeated while the key was still in flight
+        self.resent = 0
         machine.on_sent.append(self._on_sent)
         machine.on_consumed.append(self._on_consumed)
 
@@ -52,15 +79,33 @@ class LatencyProbe:
         if (signal.class_key, signal.label) != self._start:
             return
         key = signal.params.get(self._key_param)
-        self._open.setdefault(key, time_ns)
+        if key is None:
+            self.unmatched += 1
+            return
+        if key in self._first_send:
+            self.resent += 1
+        else:
+            self._first_send[key] = time_ns
+        self._last_send[key] = time_ns
 
     def _on_consumed(self, time_ns: int, signal) -> None:
         if (signal.class_key, signal.label) != self._end:
             return
         key = signal.params.get(self._key_param)
-        start = self._open.pop(key, None)
-        if start is not None:
-            self.samples.append(LatencySample(key, start, time_ns))
+        if key is None:
+            self.unmatched += 1
+            return
+        start = self._first_send.pop(key, None)
+        if start is None:
+            self.unmatched += 1
+            return
+        last = self._last_send.pop(key, start)
+        self.samples.append(LatencySample(key, start, time_ns, last))
+
+    @property
+    def in_flight(self) -> int:
+        """Keys whose start was seen but whose end has not arrived."""
+        return len(self._first_send)
 
     # -- statistics ------------------------------------------------------------
 
@@ -73,12 +118,13 @@ class LatencyProbe:
             return float("nan")
         return statistics.fmean(s.latency_ns for s in self.samples)
 
+    def percentile_ns(self, fraction: float) -> float:
+        """Ceil-based nearest-rank percentile (shared obs helper)."""
+        return percentile_nearest_rank(
+            (s.latency_ns for s in self.samples), fraction)
+
     def p99_ns(self) -> float:
-        if not self.samples:
-            return float("nan")
-        ordered = sorted(s.latency_ns for s in self.samples)
-        index = min(len(ordered) - 1, int(round(0.99 * (len(ordered) - 1))))
-        return float(ordered[index])
+        return self.percentile_ns(0.99)
 
     def max_ns(self) -> int:
         return max((s.latency_ns for s in self.samples), default=0)

@@ -27,6 +27,14 @@ class MarkViolation:
         return f"{self.element_path} {self.mark_name}: {self.message}"
 
 
+#: Marks that make sense as component-wide defaults (software
+#: architecture knobs).  Everything else in the vocabulary targets one
+#: class — ``isHardware`` on a component, say, moves nothing into
+#: hardware, and silently accepting it hides a dead sticky note.
+COMPONENT_MARKS: frozenset[str] = frozenset(
+    {"bus", "processor", "priority", "queue_depth"})
+
+
 def validate_marks(
     marks: MarkSet, model: Model, strict: bool = False
 ) -> list[MarkViolation]:
@@ -37,9 +45,20 @@ def validate_marks(
 
     for mark in marks.marks:
         if mark.element_path in known_paths:
-            pass
+            pass  # class-level: every mark in the vocabulary applies
         elif mark.element_path in known_components:
-            pass  # component-level marks are allowed (e.g. default bus)
+            # component-level marks are allowed only as architecture
+            # defaults (e.g. the default bus); a class-only mark here
+            # used to be swallowed silently and do nothing
+            if mark.name not in COMPONENT_MARKS:
+                violations.append(MarkViolation(
+                    mark.element_path, mark.name,
+                    f"{mark.name} targets a class, not a component — "
+                    f"attach it to one of the component's classes "
+                    f"(component-level marks: "
+                    f"{'/'.join(sorted(COMPONENT_MARKS))})",
+                ))
+                continue
         else:
             violations.append(MarkViolation(
                 mark.element_path, mark.name,

@@ -1,0 +1,184 @@
+"""Structured JSONL trace export — one stable, versioned schema.
+
+A trace stream is one header line followed by one line per event:
+
+    {"schema":"repro.trace","version":1}
+    {"data":{...},"index":0,"kind":"instance_created","time":0}
+
+Every line is canonical JSON (sorted keys, no whitespace), which makes
+the format *byte-stable*: ``load_jsonl`` followed by ``dump_jsonl``
+reproduces the input byte for byte, so traces can be diffed, content-
+addressed and archived without a parser in the loop.  Readers reject
+any stream whose schema name or version they do not understand — the
+version is the contract that lets the format evolve without silently
+misreading old archives.
+
+Beyond the runtime's own :class:`~repro.runtime.tracing.Trace`, two
+helpers lift the other subsystems' events into the same schema:
+:func:`attach_machine_trace` records a co-simulation's bus-level signal
+traffic, and :func:`batch_report_trace` serializes a batch build's
+per-job outcomes — so one loader and one toolchain serve all three.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.runtime.tracing import Trace, TraceKind
+
+#: Schema identifier carried by every trace stream's header line.
+SCHEMA = "repro.trace"
+
+#: Bump on any change to the line layout or event encoding.
+SCHEMA_VERSION = 1
+
+_KINDS = {kind.value: kind for kind in TraceKind}
+
+
+class TraceSchemaError(Exception):
+    """The stream is not a trace this reader understands."""
+
+
+def _dumps(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def dump_jsonl(trace: Trace) -> str:
+    """Serialize *trace* to the versioned JSONL format (ends with \\n)."""
+    lines = [_dumps({"schema": SCHEMA, "version": SCHEMA_VERSION})]
+    lines.extend(
+        _dumps({
+            "data": event.data,
+            "index": event.index,
+            "kind": event.kind.value,
+            "time": event.time,
+        })
+        for event in trace
+    )
+    return "\n".join(lines) + "\n"
+
+
+def load_jsonl(text: str) -> Trace:
+    """Parse a trace stream back into a :class:`Trace`.
+
+    Raises :class:`TraceSchemaError` for a missing/foreign header, an
+    unsupported version, malformed lines, unknown event kinds, or
+    event indices that do not form the gap-free 0..n-1 sequence an
+    append-only trace guarantees.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TraceSchemaError("empty stream: missing trace header line")
+    header = _parse_line(lines[0], 1)
+    if header.get("schema") != SCHEMA:
+        raise TraceSchemaError(
+            f"not a {SCHEMA} stream (header schema is "
+            f"{header.get('schema')!r})")
+    version = header.get("version")
+    if version != SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"unsupported trace schema version {version!r} "
+            f"(this reader understands version {SCHEMA_VERSION})")
+    trace = Trace()
+    for lineno, line in enumerate(lines[1:], start=2):
+        record = _parse_line(line, lineno)
+        try:
+            kind_name = record["kind"]
+            time = record["time"]
+            index = record["index"]
+            data = record["data"]
+        except KeyError as exc:
+            raise TraceSchemaError(
+                f"line {lineno}: event record misses field {exc}") from None
+        kind = _KINDS.get(kind_name)
+        if kind is None:
+            raise TraceSchemaError(
+                f"line {lineno}: unknown event kind {kind_name!r}")
+        if not isinstance(data, dict):
+            raise TraceSchemaError(
+                f"line {lineno}: event data must be an object, "
+                f"got {type(data).__name__}")
+        event = trace.record(time, kind, **data)
+        if event.index != index:
+            raise TraceSchemaError(
+                f"line {lineno}: event index {index} breaks the "
+                f"append-only sequence (expected {event.index})")
+    return trace
+
+
+def _parse_line(line: str, lineno: int) -> dict:
+    try:
+        parsed = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceSchemaError(f"line {lineno}: not JSON ({exc})") from None
+    if not isinstance(parsed, dict):
+        raise TraceSchemaError(
+            f"line {lineno}: expected a JSON object, "
+            f"got {type(parsed).__name__}")
+    return parsed
+
+
+def write_jsonl(trace: Trace, path) -> str:
+    """Write *trace* to *path*; returns the path written."""
+    target = pathlib.Path(path)
+    target.write_text(dump_jsonl(trace))
+    return str(target)
+
+
+def read_jsonl(path) -> Trace:
+    """Load a trace stream from *path*."""
+    return load_jsonl(pathlib.Path(path).read_text())
+
+
+# -- lifting other subsystems' events into the schema ------------------------
+
+
+def attach_machine_trace(machine) -> Trace:
+    """Record a co-simulation's signal traffic into a fresh trace.
+
+    Installs ``on_sent`` / ``on_consumed`` observers on *machine* (a
+    :class:`~repro.cosim.engine.CoSimMachine`); times are platform
+    nanoseconds.  The returned trace exports through the same schema as
+    a runtime trace.
+    """
+    trace = Trace()
+
+    def on_sent(time_ns: int, signal) -> None:
+        trace.record(
+            time_ns, TraceKind.SIGNAL_SENT,
+            sequence=signal.sequence, label=signal.label,
+            target=signal.target_handle, sender=signal.sender_handle,
+            activity=signal.activity_id, delay=0,
+        )
+
+    def on_consumed(time_ns: int, signal) -> None:
+        trace.record(
+            time_ns, TraceKind.SIGNAL_CONSUMED,
+            sequence=signal.sequence, label=signal.label,
+            target=signal.target_handle, sender=signal.sender_handle,
+            sent_activity=signal.activity_id,
+        )
+
+    machine.on_sent.append(on_sent)
+    machine.on_consumed.append(on_consumed)
+    return trace
+
+
+def batch_report_trace(report) -> Trace:
+    """Serialize a batch build's per-job outcomes as trace events.
+
+    *report* is a :class:`~repro.build.scheduler.BatchReport`; each job
+    becomes one LOG event (timestamped in whole elapsed microseconds of
+    the job itself, since batch jobs have no shared clock).
+    """
+    trace = Trace()
+    for result in report.results:
+        trace.record(
+            int(result.elapsed_s * 1_000_000), TraceKind.LOG,
+            record="build_job", job=result.job.label, ok=result.ok,
+            error=result.error, classes_compiled=result.classes_compiled,
+            classes_reused=result.classes_reused,
+            store_hits=result.store.hits, store_misses=result.store.misses,
+        )
+    return trace

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.oal.analyzer import AnalyzedActivity, analyze_activity
 from repro.oal.parser import parse_activity
+from repro.obs.metrics import active_registry
 from repro.xuml.component import Component
 from repro.xuml.model import Model
 from repro.xuml.statemachine import EventResponse
@@ -99,6 +100,22 @@ class Simulation:
         self._operations: dict[tuple[str, str], AnalyzedActivity] = {}
         self._derived: dict[tuple[str, str], AnalyzedActivity] = {}
         self._prepare_activities()
+
+        # observability: bind metrics once at construction; when no
+        # registry is active every hook is one `is not None` test
+        registry = active_registry()
+        if registry is None:
+            self._metric_dispatches = None
+            self._metric_queue_depth = None
+            self._metric_wait = None
+        else:
+            self._metric_dispatches = registry.counter("runtime.dispatches")
+            self._metric_queue_depth = registry.histogram(
+                "runtime.queue_depth",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+            self._metric_wait = registry.histogram(
+                "runtime.dispatch_wait_us",
+                buckets=(0, 1, 10, 100, 1_000, 10_000, 100_000, 1_000_000))
 
     # -- preparation -------------------------------------------------------------
 
@@ -376,10 +393,15 @@ class Simulation:
         source = self.scheduler.choose(self.pool)
         if source is None:
             return False
+        if self._metric_dispatches is not None:
+            self._metric_dispatches.inc()
+            self._metric_queue_depth.observe(self.pool.ready_count)
         if source == CREATION:
             signal = self.pool.pop_creation()
         else:
             signal = self.pool.pop_for(source)
+        if self._metric_wait is not None:
+            self._metric_wait.observe(self.now - signal.sent_at)
         self._dispatch(signal)
         return True
 

@@ -1,0 +1,135 @@
+"""LatencyProbe correctness: keyless signals, retransmits, percentiles.
+
+Regression coverage for two silent-wrong behaviours the probe used to
+have: correlating every keyless signal on ``None`` (collapsing them all
+into one bogus sample) and ``setdefault`` swallowing retransmitted
+starts, plus the round-based p99 that under-reported the tail.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cosim.perf import LatencyProbe, LatencySample
+
+
+@dataclass
+class StubSignal:
+    class_key: str
+    label: str
+    params: dict = field(default_factory=dict)
+
+
+class StubMachine:
+    """Just the observer surface the probe attaches to."""
+
+    def __init__(self):
+        self.on_sent = []
+        self.on_consumed = []
+
+    def sent(self, time_ns, signal):
+        for observer in self.on_sent:
+            observer(time_ns, signal)
+
+    def consumed(self, time_ns, signal):
+        for observer in self.on_consumed:
+            observer(time_ns, signal)
+
+
+def probe_on(machine):
+    return LatencyProbe(machine, start=("M", "go"), end=("S", "done"),
+                        key_param="pkt_id")
+
+
+class TestKeylessSignals:
+    def test_keyless_starts_do_not_collapse_into_one_sample(self):
+        machine = StubMachine()
+        probe = probe_on(machine)
+        # three keyless starts and ends: previously all three correlated
+        # on key None, yielding bogus cross-matched samples
+        for index in range(3):
+            machine.sent(index * 10, StubSignal("M", "go"))
+        for index in range(3):
+            machine.consumed(100 + index, StubSignal("S", "done"))
+        assert probe.count == 0
+        assert probe.unmatched == 6
+        assert probe.in_flight == 0
+
+    def test_end_without_start_is_unmatched(self):
+        machine = StubMachine()
+        probe = probe_on(machine)
+        machine.consumed(50, StubSignal("S", "done", {"pkt_id": 9}))
+        assert probe.count == 0
+        assert probe.unmatched == 1
+
+    def test_keyed_signals_still_correlate(self):
+        machine = StubMachine()
+        probe = probe_on(machine)
+        machine.sent(10, StubSignal("M", "go", {"pkt_id": 1}))
+        machine.consumed(35, StubSignal("S", "done", {"pkt_id": 1}))
+        assert probe.count == 1
+        assert probe.samples[0].latency_ns == 25
+        assert probe.unmatched == 0
+
+
+class TestRetransmittedStarts:
+    def test_repeated_start_is_counted_not_swallowed(self):
+        machine = StubMachine()
+        probe = probe_on(machine)
+        machine.sent(10, StubSignal("M", "go", {"pkt_id": 1}))
+        machine.sent(40, StubSignal("M", "go", {"pkt_id": 1}))  # resend
+        machine.consumed(100, StubSignal("S", "done", {"pkt_id": 1}))
+        assert probe.resent == 1
+        sample = probe.samples[0]
+        # end-to-end latency runs from the FIRST send
+        assert sample.start_ns == 10
+        assert sample.last_start_ns == 40
+        assert sample.latency_ns == 90
+        assert sample.was_resent
+
+    def test_single_send_sample_is_not_marked_resent(self):
+        machine = StubMachine()
+        probe = probe_on(machine)
+        machine.sent(10, StubSignal("M", "go", {"pkt_id": 1}))
+        machine.consumed(30, StubSignal("S", "done", {"pkt_id": 1}))
+        assert probe.resent == 0
+        assert not probe.samples[0].was_resent
+
+    def test_key_reuse_after_completion_opens_a_new_sample(self):
+        machine = StubMachine()
+        probe = probe_on(machine)
+        machine.sent(0, StubSignal("M", "go", {"pkt_id": 1}))
+        machine.consumed(10, StubSignal("S", "done", {"pkt_id": 1}))
+        machine.sent(100, StubSignal("M", "go", {"pkt_id": 1}))
+        machine.consumed(130, StubSignal("S", "done", {"pkt_id": 1}))
+        assert probe.resent == 0
+        assert [s.latency_ns for s in probe.samples] == [10, 30]
+
+    def test_in_flight_tracks_open_starts(self):
+        machine = StubMachine()
+        probe = probe_on(machine)
+        machine.sent(0, StubSignal("M", "go", {"pkt_id": 1}))
+        machine.sent(0, StubSignal("M", "go", {"pkt_id": 2}))
+        assert probe.in_flight == 2
+        machine.consumed(5, StubSignal("S", "done", {"pkt_id": 1}))
+        assert probe.in_flight == 1
+
+
+class TestPercentiles:
+    def test_p99_of_100_distinct_samples_is_the_100th(self):
+        machine = StubMachine()
+        probe = probe_on(machine)
+        for index in range(100):
+            machine.sent(0, StubSignal("M", "go", {"pkt_id": index}))
+            # latencies 1..100 ns, in scrambled completion order
+        for index in sorted(range(100), key=lambda i: (i * 37) % 100):
+            machine.consumed(index + 1,
+                             StubSignal("S", "done", {"pkt_id": index}))
+        assert probe.count == 100
+        # round-based indexing (the old bug) reported 99 here
+        assert probe.p99_ns() == 100
+        assert probe.percentile_ns(0.5) == 51
+        assert probe.max_ns() == 100
+
+    def test_sample_dataclass_defaults(self):
+        sample = LatencySample("k", 5, 30)
+        assert sample.latency_ns == 25
+        assert not sample.was_resent

@@ -194,3 +194,91 @@ class TestChaos:
         assert lines[0].startswith("model,protected,rate")
         # one protected + one unprotected row at the single rate
         assert len(lines) == 3
+
+
+class TestTrace:
+    def test_trace_to_stdout_is_valid_jsonl(self, capsys):
+        from repro.obs import SCHEMA, load_jsonl
+
+        assert main(["trace", "microwave"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out.splitlines()[0])["schema"] == SCHEMA
+        assert len(load_jsonl(out)) > 0
+
+    def test_trace_export_and_check_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["trace", "microwave", "-o", str(path)]) == 0
+        assert "events" in capsys.readouterr().out
+        assert main(["trace", "--load", str(path), "--check"]) == 0
+        assert "byte-identically" in capsys.readouterr().out
+
+    def test_trace_check_rejects_tampering(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["trace", "microwave", "-o", str(path)]) == 0
+        capsys.readouterr()
+        # non-canonical whitespace survives load but not re-dump
+        path.write_text(path.read_text().replace('":', '": ', 1))
+        assert main(["trace", "--load", str(path), "--check"]) == 1
+        assert "not byte-identical" in capsys.readouterr().err
+
+    def test_trace_load_rejects_foreign_schema(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema":"other","version":1}\n')
+        assert main(["trace", "--load", str(path)]) == 1
+        assert "not a repro.trace stream" in capsys.readouterr().err
+
+    def test_trace_critical_path(self, capsys):
+        assert main(["trace", "microwave", "--critical"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "dependent signal(s)" in out
+
+    def test_trace_named_case(self, capsys):
+        assert main(["trace", "microwave",
+                     "--case", "door-open-pauses-cooking",
+                     "--critical"]) == 0
+        assert "critical path:" in capsys.readouterr().out
+
+    def test_trace_unknown_case_lists_suite(self, capsys):
+        assert main(["trace", "microwave", "--case", "ghost"]) == 1
+        assert "no case 'ghost'" in capsys.readouterr().err
+
+    def test_trace_without_name_or_load_rejected(self, capsys):
+        assert main(["trace"]) == 1
+        assert "required" in capsys.readouterr().err
+
+    def test_trace_unknown_model_rejected(self, capsys):
+        assert main(["trace", "ghost"]) == 1
+        assert "no suite" in capsys.readouterr().err
+
+    def test_trace_missing_file_rejected(self, tmp_path, capsys):
+        assert main(["trace", "--load", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestMetrics:
+    def test_metrics_reports_all_three_subsystems(self, capsys):
+        assert main(["metrics", "microwave", "--require"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime.dispatches" in out
+        assert "cosim.signals_routed" in out
+        assert "cosim.bus.messages" in out
+        assert "build.store.hits" in out
+        assert "build.job_wall_ms" in out
+
+    def test_metrics_json_snapshot(self, capsys):
+        assert main(["metrics", "checksum", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["runtime.dispatches"] > 0
+        assert snapshot["counters"]["build.store.hits"] > 0
+        assert snapshot["histograms"]["runtime.queue_depth"]["count"] > 0
+
+    def test_metrics_unknown_model_rejected(self, capsys):
+        assert main(["metrics", "ghost"]) == 1
+        assert "no suite" in capsys.readouterr().err
+
+    def test_metrics_registry_deactivated_afterwards(self):
+        from repro.obs import active_registry
+
+        assert main(["metrics", "microwave"]) == 0
+        assert active_registry() is None

@@ -214,7 +214,42 @@ class TestTutorialSteps:
                      "--min-hit-rate", "0.9"]) == 0
         assert "hit rate 100.0%" in capsys.readouterr().out
 
-    def test_step_8_serialize(self):
+    def test_step_8_observability(self):
+        from repro.obs import critical_path, dump_jsonl, load_jsonl, observe
+
+        model = build_sensor_node()
+        with observe() as registry:
+            sim = Simulation(model)
+            sa = sim.create_instance("SA", sa_id=1)
+            fi = sim.create_instance("FI", fi_id=1)
+            sim.relate(sa, fi, "R1")
+            sim.inject(sa, "SA1")
+            sim.run_until(10_000)
+
+        table = registry.render_table()
+        assert "runtime.dispatches" in table
+        assert "runtime.queue_depth" in table
+        assert registry.counter("runtime.dispatches").value > 0
+
+        text = dump_jsonl(sim.trace)
+        assert dump_jsonl(load_jsonl(text)) == text   # load∘dump == id
+
+        path = critical_path(sim.trace)
+        assert path.length > 0
+        assert "critical path:" in path.render()
+
+    def test_step_8_cli_surfaces(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["metrics", "microwave", "--require"]) == 0
+        capsys.readouterr()
+        run = str(tmp_path / "run.jsonl")
+        assert main(["trace", "microwave", "-o", run, "--critical"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--load", run, "--check"]) == 0
+        assert "byte-identically" in capsys.readouterr().out
+
+    def test_step_9_serialize(self):
         model = build_sensor_node()
         text = model_to_json(model)
         assert model_to_json(model_from_json(text)) == text

@@ -62,6 +62,62 @@ class TestValidation:
             validate_marks(marks, model, strict=True)
 
 
+class TestComponentLevelMarks:
+    """Class-only marks on a component path used to be swallowed by a
+    silent ``pass``: accepted, validated against nothing, and doing
+    nothing.  They are structured diagnostics now."""
+
+    def test_class_only_mark_on_component_reported(self, model):
+        marks = MarkSet()
+        marks.set("control", "isHardware", True)  # moves nothing to HW
+        violations = validate_marks(marks, model)
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.element_path == "control"
+        assert violation.mark_name == "isHardware"
+        assert "targets a class" in violation.message
+
+    @pytest.mark.parametrize("name,value", [
+        ("isHardware", True),
+        ("clock_mhz", 200),
+        ("unroll_loops", True),
+        ("crc", "crc16"),
+        ("maxRetries", 3),
+        ("retryBackoffNs", 1000),
+        ("isCritical", True),
+    ])
+    def test_every_class_only_mark_is_rejected_at_component_level(
+            self, model, name, value):
+        marks = MarkSet()
+        marks.set("control", name, value)
+        violations = validate_marks(marks, model)
+        assert any(v.mark_name == name and "targets a class" in v.message
+                   for v in violations)
+
+    @pytest.mark.parametrize("name,value", [
+        ("bus", "axi0"),
+        ("processor", "cpu1"),
+        ("priority", 2),
+        ("queue_depth", 8),
+    ])
+    def test_architecture_defaults_stay_component_valid(
+            self, model, name, value):
+        marks = MarkSet()
+        marks.set("control", name, value)
+        assert validate_marks(marks, model) == []
+
+    def test_same_mark_on_a_class_is_still_fine(self, model):
+        marks = MarkSet()
+        marks.set("control.MO", "isHardware", True)
+        assert validate_marks(marks, model) == []
+
+    def test_strict_mode_raises_on_component_misplacement(self, model):
+        marks = MarkSet()
+        marks.set("control", "crc", "crc8")
+        with pytest.raises(MarkError, match="targets a class"):
+            validate_marks(marks, model, strict=True)
+
+
 class TestReliabilityValidation:
     """The protection vocabulary (crc / maxRetries / ...) stays honest."""
 
