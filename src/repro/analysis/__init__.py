@@ -1,0 +1,57 @@
+"""Whole-model static analysis: signal flow, races, lost signals.
+
+The per-activity analyzer (:mod:`repro.oal.analyzer`), the per-machine
+checker (:mod:`repro.xuml.wellformed`) and the per-mark validator
+(:mod:`repro.marks.validate`) each stop at their own boundary.  This
+package is where the *model-wide* consequences of signal-based
+concurrency get checked: a signal-flow graph derived from analyzed OAL
+bodies, detectors over it (races, lost signals, send-aware
+reachability, stall cycles, partition-protocol lint), and a bounded
+interleaving explorer that confirms suspect findings against the
+repo's own executable semantics with replayable schedule witnesses.
+
+Attribute access is lazy (PEP 562): :mod:`repro.xuml.wellformed` and
+friends import :mod:`repro.analysis.findings` at module load, and an
+eager ``__init__`` here would close an import cycle back through
+:mod:`repro.xuml` via the heavier analysis modules.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "Severity": "findings",
+    "Finding": "findings",
+    "Violation": "findings",
+    "LintFinding": "findings",
+    "MarkViolation": "findings",
+    "sorted_findings": "findings",
+    "SignalEdge": "signalflow",
+    "SignalFlowGraph": "signalflow",
+    "build_graph": "signalflow",
+    "Scenario": "witness",
+    "Witness": "witness",
+    "WitnessSearch": "witness",
+    "scenarios_from_cases": "witness",
+    "scenarios_for_model": "witness",
+    "replay_witness": "witness",
+    "analyze_model": "detectors",
+    "LintReport": "report",
+    "lint_model": "report",
+    "load_baseline": "report",
+    "write_baseline": "report",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(f".{_EXPORTS[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

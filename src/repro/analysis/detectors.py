@@ -1,0 +1,465 @@
+"""Whole-model detectors over the signal-flow graph.
+
+Each detector proposes findings from the static picture (tables + flow
+graph); the bounded interleaving explorer then either *confirms* a
+suspect with a replayable schedule witness or leaves it at a suspect
+severity.  The severity contract, which the CI gate relies on:
+
+==========================  ==========  =========================
+rule                        unwitnessed  witnessed / proved
+==========================  ==========  =========================
+lost-signal                 INFO         WARNING (+ witness)
+cant-happen                 WARNING      ERROR (+ witness)
+race                        (silent)     WARNING (+ witness pair)
+send-aware-reachability     WARNING      n/a (table proof)
+stall-cycle                 WARNING      n/a (graph proof)
+partition.critical          n/a          ERROR (mark-table proof)
+partition.chatty            WARNING      n/a (graph proof)
+==========================  ==========  =========================
+
+No rule ever emits an ERROR without a witness or a table/mark proof —
+that is the "zero false ERRORs" acceptance bar, and it is what lets
+``repro lint --fail-on error`` gate CI without a baseline file.
+"""
+
+from __future__ import annotations
+
+from repro.marks.model import MarkSet
+from repro.xuml.model import Model
+from repro.xuml.statemachine import EventResponse
+
+from .findings import Finding, Severity
+from .signalflow import SignalFlowGraph, build_graph
+from .witness import WitnessSearch, scenarios_for_model, stimuli_from_scenarios
+
+#: Boundary flows whose send site sits in a loop amplify into bus bursts.
+CHATTY_FLOW_THRESHOLD = 3
+
+
+def analyze_model(
+    model: Model,
+    component=None,
+    marks: MarkSet | None = None,
+    scenarios=None,
+    explore: bool = True,
+    schedules: int = 24,
+    seed: int = 0,
+    max_steps: int = 1_000,
+    search: WitnessSearch | None = None,
+) -> list[Finding]:
+    """Run every signal-flow detector over one component.
+
+    *scenarios* defaults to the model's formal verify suite (by model
+    name, when the catalog knows it); without scenarios the explorer has
+    no stimuli and every finding stays at its suspect severity.  Pass a
+    prebuilt *search* to share its run cache (and read its run counter)
+    across callers.
+    """
+    if component is None:
+        component = model.components[0]
+    elif isinstance(component, str):
+        component = model.component(component)
+    if scenarios is None:
+        scenarios = (search.scenarios if search is not None
+                     else scenarios_for_model(model.name))
+    stimuli = stimuli_from_scenarios(scenarios)
+    graph = build_graph(model, component, stimuli)
+
+    if search is None and explore and scenarios:
+        search = WitnessSearch(
+            model, scenarios, component=component.name,
+            schedules=schedules, max_steps=max_steps, seed=seed)
+    if not explore:
+        search = None
+
+    findings: list[Finding] = []
+    findings += _drop_findings(component, graph, search)
+    findings += _race_findings(component, graph, search)
+    findings += _send_aware_reachability(component, graph)
+    findings += _stall_cycles(component, graph)
+    if marks is not None:
+        findings += partition_lint(model, component, marks, graph)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# lost signals and can't-happens
+# --------------------------------------------------------------------------
+
+
+def _sender_note(graph: SignalFlowGraph, class_key: str, label: str) -> str:
+    senders = graph.senders(class_key, label)
+    parts = [f"{cls}.{state}" for cls, state in senders]
+    if label in graph.stimuli.get(class_key, frozenset()):
+        parts.append("environment")
+    return ", ".join(parts) or "environment"
+
+
+def _drop_findings(component, graph: SignalFlowGraph,
+                   search: WitnessSearch | None) -> list[Finding]:
+    """IGNORE rows reachable signals can hit, and CANT_HAPPEN suspects.
+
+    The static arrival-state analysis over-approximates for cross-class
+    and delayed sends and under-approximates in one corner (two
+    same-label self events queued across run-to-completion rounds), so
+    after the table pass every drop the explorer actually observed that
+    the tables missed is added as a witnessed finding too.
+    """
+    findings: list[Finding] = []
+    covered: set[tuple[str, str, str, str]] = set()
+
+    for class_key, label, state, response in graph.drop_sites(component):
+        element = f"{graph.component_name}.{class_key}.{state}"
+        senders = _sender_note(graph, class_key, label)
+        reason = ("ignored" if response is EventResponse.IGNORE
+                  else "cant_happen")
+        covered.add((class_key, label, state, reason))
+        witness = (search.find_drop(class_key, label, state, reason)
+                   if search is not None else None)
+        if response is EventResponse.IGNORE:
+            severity = Severity.INFO if witness is None else Severity.WARNING
+            message = (f"signal {label} (from {senders}) can arrive in state "
+                       f"{state!r} where it is ignored")
+            if witness is not None:
+                message += " — dropped under an explored schedule"
+        else:
+            severity = Severity.WARNING if witness is None else Severity.ERROR
+            message = (f"signal {label} (from {senders}) can arrive in state "
+                       f"{state!r} where it CAN'T HAPPEN")
+            message += (" — reproduced under an explored schedule"
+                        if witness is not None else
+                        " — not reproduced within the schedule budget")
+        findings.append(Finding(severity, element, message,
+                                rule="lost-signal" if reason == "ignored"
+                                else "cant-happen", witness=witness))
+
+    if search is not None:
+        findings += _explored_extra_drops(graph, search, covered)
+    return findings
+
+
+def _explored_extra_drops(graph: SignalFlowGraph, search: WitnessSearch,
+                          covered: set) -> list[Finding]:
+    """Witnessed drops the state-table pass did not predict."""
+    observed: set[tuple[str, str, str, str]] = set()
+    for scenario in search.scenarios:
+        for record in search.records_for(scenario):
+            for (class_key, label, state, reason), _ in record.drops:
+                observed.add((class_key, label, state, reason))
+
+    findings = []
+    for class_key, label, state, reason in sorted(observed - covered):
+        if reason == "target deleted":
+            continue  # lifecycle churn, not a table defect
+        witness = search.find_drop(class_key, label, state, reason)
+        if witness is None:
+            continue
+        element = f"{graph.component_name}.{class_key}.{state}"
+        if reason == "ignored":
+            severity, rule = Severity.WARNING, "lost-signal"
+            verb = "ignored"
+        else:
+            severity, rule = Severity.ERROR, "cant-happen"
+            verb = "CAN'T HAPPEN"
+        findings.append(Finding(
+            severity, element,
+            f"signal {label} arrived in state {state!r} where it is {verb} "
+            f"(missed by arrival-state analysis; observed under an "
+            f"explored schedule)",
+            rule=rule, witness=witness))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# races
+# --------------------------------------------------------------------------
+
+
+def _race_candidates(component, graph: SignalFlowGraph):
+    """(receiver, label) pairs where arrival order is contended.
+
+    Contention needs a sender outside the receiver's own
+    run-to-completion chain: a cross-instance edge, an operation body,
+    or an environment stimulus.  Self events — even delayed ones —
+    cascade from whatever the instance last consumed, so a divergence
+    in their profile only mirrors an upstream race; reporting them
+    would file the same root cause three times.
+    """
+    candidates: set[tuple[str, str]] = set()
+    for klass in component.classes:
+        key = klass.key_letters
+        for label in sorted(graph.available_labels(key)):
+            edges = graph.edges_to(key, label)
+            contended = any(
+                (not e.to_self) or e.from_operation for e in edges
+            ) or label in graph.stimuli.get(key, frozenset())
+            if contended:
+                candidates.add((key, label))
+    return sorted(candidates)
+
+
+def _race_findings(component, graph: SignalFlowGraph,
+                   search: WitnessSearch | None) -> list[Finding]:
+    if search is None:
+        return []
+    findings = []
+    for class_key, label in _race_candidates(component, graph):
+        witness = search.find_race(class_key, label)
+        if witness is None:
+            continue
+        element = f"{graph.component_name}.{class_key}"
+        senders = _sender_note(graph, class_key, label)
+        findings.append(Finding(
+            Severity.WARNING, element,
+            f"arrival order of {label} (from {senders}) is schedule-"
+            f"dependent: two legal dispatch orders reach different final "
+            f"states",
+            rule="race", witness=witness))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# send-aware reachability
+# --------------------------------------------------------------------------
+
+
+def _send_aware_reachability(component, graph: SignalFlowGraph) -> list[Finding]:
+    """States unreachable once you know which events are ever sent.
+
+    ``wellformed.py`` walks the transition table alone: a state is
+    "reachable" if *some* event sequence leads there.  This pass keeps
+    only transitions whose label is actually generated somewhere in the
+    model or injected by the environment — strictly sharper, and a
+    whole-model property no per-machine check can compute.
+    """
+    findings = []
+    for klass in component.classes:
+        machine = klass.statemachine
+        if machine.is_empty():
+            continue
+        available = graph.available_labels(klass.key_letters)
+        table_reachable = set(machine.reachable_states())
+
+        roots: set[str] = set()
+        if machine.initial_state is not None:
+            roots.add(machine.initial_state)
+        for creation in machine.creation_transitions:
+            if creation.event_label in available:
+                roots.add(creation.to_state)
+
+        live = set(roots)
+        frontier = list(roots)
+        while frontier:
+            state = frontier.pop()
+            for transition in machine.transitions:
+                if (transition.from_state == state
+                        and transition.event_label in available
+                        and transition.to_state not in live):
+                    live.add(transition.to_state)
+                    frontier.append(transition.to_state)
+
+        for state in machine.states:
+            if state.name in table_reachable and state.name not in live:
+                needed = sorted({
+                    t.event_label for t in machine.transitions
+                    if t.to_state == state.name
+                    and t.event_label not in available
+                })
+                findings.append(Finding(
+                    Severity.WARNING,
+                    f"{graph.component_name}.{klass.key_letters}",
+                    f"state {state.name!r} is reachable in the table but no "
+                    f"activity or stimulus ever generates "
+                    f"{', '.join(needed) or 'its triggering events'}",
+                    rule="send-aware-reachability"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# stall cycles
+# --------------------------------------------------------------------------
+
+
+def _escape_labels(machine, state_name: str) -> set[str]:
+    return {
+        t.event_label for t in machine.transitions
+        if t.from_state == state_name and t.to_state != state_name
+    }
+
+
+def _can_wake(graph: SignalFlowGraph, sender_state: tuple[str, str],
+              target_class: str) -> bool:
+    """Can (class, state)'s activity transitively signal *target_class*?"""
+    seen: set[str] = set()
+    frontier = [
+        e.receiver_class for e in graph.edges
+        if (e.sender_class, e.sender_state) == sender_state
+    ]
+    while frontier:
+        class_key = frontier.pop()
+        if class_key == target_class:
+            return True
+        if class_key in seen:
+            continue
+        seen.add(class_key)
+        frontier.extend(
+            e.receiver_class for e in graph.edges if e.sender_class == class_key
+        )
+    return False
+
+
+def _stall_cycles(component, graph: SignalFlowGraph) -> list[Finding]:
+    """Cycles of classes each dead-waiting on a signal from the next.
+
+    A state is a *dead wait* when every label that leaves it is produced
+    solely by other classes, is never injected, is not a delayed self
+    timer, and the state's own entry activity cannot transitively wake
+    any producer.  If the resulting wait-for edges close a cycle, every
+    class in it can park forever — the whole-model analogue of a
+    deadlock, invisible to any per-machine check.
+    """
+    waits: dict[str, tuple[str, str, str]] = {}
+    for klass in component.classes:
+        machine = klass.statemachine
+        if machine.is_empty():
+            continue
+        key = klass.key_letters
+        for state in machine.states:
+            if state.name == machine.initial_state:
+                continue
+            escapes = _escape_labels(machine, state.name)
+            if not escapes:
+                continue  # terminal state, not a wait
+            providers: set[str] = set()
+            dead = True
+            for label in escapes:
+                if label in graph.stimuli.get(key, frozenset()):
+                    dead = False
+                    break
+                edges = graph.edges_to(key, label)
+                if not edges:
+                    continue  # never sent at all: reachability's problem
+                if any(e.to_self or e.delayed for e in edges):
+                    dead = False
+                    break
+                providers.update(e.sender_class for e in edges)
+            if not dead or not providers:
+                continue
+            if _can_wake(graph, (key, state.name), next(iter(providers))):
+                continue
+            # one wait edge per class is enough to close a cycle
+            provider = sorted(providers)[0]
+            waits.setdefault(key, (state.name, provider,
+                                   "/".join(sorted(escapes))))
+
+    findings = []
+    reported: set[frozenset] = set()
+    for start in sorted(waits):
+        chain = [start]
+        node = start
+        while True:
+            _, provider, _ = waits.get(node, (None, None, None))
+            if provider is None or provider not in waits:
+                break
+            if provider in chain:
+                cycle = chain[chain.index(provider):]
+                cycle_key = frozenset(cycle)
+                if cycle_key not in reported:
+                    reported.add(cycle_key)
+                    hops = " -> ".join(
+                        f"{cls}.{waits[cls][0]} (awaits {waits[cls][2]})"
+                        for cls in cycle)
+                    findings.append(Finding(
+                        Severity.WARNING,
+                        f"{graph.component_name}.{cycle[0]}",
+                        f"stall cycle: {hops} -> {cycle[0]} — every class "
+                        f"waits on a signal only the next one produces",
+                        rule="stall-cycle"))
+                break
+            chain.append(provider)
+            node = provider
+    return findings
+
+
+# --------------------------------------------------------------------------
+# partition-protocol lint
+# --------------------------------------------------------------------------
+
+
+def partition_lint(model: Model, component, marks: MarkSet,
+                   graph: SignalFlowGraph | None = None) -> list[Finding]:
+    """Marks-aware lint: protocol problems the partition creates.
+
+    Every finding here is proved from the marks and the flow graph —
+    no witness needed: an ``isCritical`` class whose boundary signals
+    cross the bus unframed is wrong by the reliability marks' own
+    definition (PR 1), and a loop-amplified boundary edge is chatty no
+    matter how the scheduler behaves.
+    """
+    from repro.marks.partition import derive_partition
+
+    if graph is None:
+        graph = build_graph(model, component)
+    partition = derive_partition(model, component, marks)
+    findings: list[Finding] = []
+    if partition.is_pure_software or partition.is_pure_hardware:
+        return findings
+
+    boundary = {(f.sender_class, f.receiver_class, f.event_label)
+                for f in partition.boundary_flows}
+
+    # isCritical boundary traffic must be CRC-framed with retries
+    for flow in partition.boundary_flows:
+        for class_key in (flow.sender_class, flow.receiver_class):
+            path = f"{component.name}.{class_key}"
+            if not marks.get(path, "isCritical"):
+                continue
+            crc = marks.get(path, "crc")
+            retries = marks.get(path, "maxRetries")
+            problems = []
+            if crc in (None, "none"):
+                problems.append("no crc mark")
+            if not retries:
+                problems.append("no maxRetries mark")
+            if problems:
+                findings.append(Finding(
+                    Severity.ERROR, path,
+                    f"isCritical signal {flow.event_label} "
+                    f"({flow.sender_class} -> {flow.receiver_class}) crosses "
+                    f"the bus with {' and '.join(problems)}",
+                    rule="partition.critical"))
+
+    # loop-amplified sends across the boundary are chatty
+    for edge in graph.edges:
+        if not edge.in_loop:
+            continue
+        key = (edge.sender_class, edge.receiver_class, edge.event_label)
+        if key not in boundary:
+            continue
+        findings.append(Finding(
+            Severity.WARNING, f"{component.name}.{edge.sender_class}",
+            f"boundary signal {edge.event_label} to {edge.receiver_class} is "
+            f"generated inside a loop in state {edge.sender_state!r} — "
+            f"per-iteration bus traffic",
+            rule="partition.chatty"))
+
+    # many distinct boundary signals between one class pair
+    pair_flows: dict[tuple[str, str], list[str]] = {}
+    for flow in partition.boundary_flows:
+        pair_flows.setdefault(
+            (flow.sender_class, flow.receiver_class), []).append(flow.event_label)
+    for (sender, receiver), labels in sorted(pair_flows.items()):
+        if len(labels) >= CHATTY_FLOW_THRESHOLD:
+            findings.append(Finding(
+                Severity.WARNING, f"{component.name}.{sender}",
+                f"{len(labels)} distinct signals cross the boundary to "
+                f"{receiver} ({', '.join(sorted(labels))}) — consider "
+                f"co-locating or batching",
+                rule="partition.chatty"))
+
+    # deduplicate identical findings from symmetric flows
+    unique: dict[tuple, Finding] = {}
+    for finding in findings:
+        unique.setdefault(
+            (finding.rule, finding.element, finding.message), finding)
+    return list(unique.values())

@@ -5,6 +5,9 @@ The tool surface a downstream user drives without writing Python:
 * ``export``  — write a catalog model to a JSON model file
 * ``info``    — size/stat summary of a model file
 * ``check``   — well-formedness report (exit 1 on errors)
+* ``lint``    — whole-model signal-flow lint: races, lost signals,
+  stall cycles and partition-protocol checks with replayable
+  interleaving witnesses (E11)
 * ``compile`` — run the model compiler against a marking file and
   materialize the generated C/VHDL artifacts
 * ``verify``  — run a catalog model's formal suite on all platforms
@@ -73,13 +76,81 @@ def cmd_info(args) -> int:
 
 def cmd_check(args) -> int:
     model = _load_model(args.model)
-    violations = check_model(model)
+    violations = sorted(check_model(model),
+                        key=lambda v: (v.element, v.message))
     errors = [v for v in violations if v.severity is Severity.ERROR]
     warnings = [v for v in violations if v.severity is Severity.WARNING]
     for violation in violations:
         print(violation)
     print(f"{len(errors)} error(s), {len(warnings)} warning(s)")
-    return 1 if errors else 0
+    if errors:
+        return 1
+    return 1 if warnings and args.strict_warnings else 0
+
+
+def _load_model_or_catalog(name: str):
+    """A model JSON file path, or a catalog model name."""
+    path = pathlib.Path(name)
+    if path.suffix == ".json" or path.exists():
+        return _load_model(name)
+    from repro.models import build_model
+
+    return build_model(name)
+
+
+def cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis.report import (
+        lint_model,
+        load_baseline,
+        write_baseline,
+    )
+
+    try:
+        baseline = (load_baseline(args.baseline)
+                    if args.baseline else frozenset())
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    marks = _load_marks(args.marks) if args.marks else None
+
+    reports = []
+    for name in args.models:
+        try:
+            model = _load_model_or_catalog(name)
+        except (KeyError, OSError, ValueError) as exc:
+            reason = exc.args[0] if exc.args else exc
+            print(f"lint: {name}: {reason}", file=sys.stderr)
+            return 2
+        try:
+            reports.append(lint_model(
+                model,
+                component=args.component,
+                marks=marks,
+                baseline=baseline,
+                explore=not args.no_witness,
+                schedules=args.schedules,
+                seed=args.seed,
+                max_steps=args.max_steps,
+            ))
+        except KeyError as exc:
+            print(f"lint: {name}: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        print(json.dumps([r.to_json() for r in reports],
+                         indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, reports)
+        print(f"wrote {args.write_baseline} ({count} suppression keys)",
+              file=sys.stderr)
+        return 0
+    return max((r.exit_code(args.fail_on) for r in reports), default=0)
 
 
 def cmd_compile(args) -> int:
@@ -423,7 +494,43 @@ def build_parser() -> argparse.ArgumentParser:
     check = commands.add_parser(
         "check", help="well-formedness report (exit 1 on errors)")
     check.add_argument("model", help="model JSON file")
+    check.add_argument("--strict-warnings", action="store_true",
+                       help="also exit 1 when the report contains warnings")
     check.set_defaults(func=cmd_check)
+
+    lint = commands.add_parser(
+        "lint",
+        help="whole-model signal-flow lint with interleaving witnesses "
+             "(E11)")
+    lint.add_argument("models", nargs="+",
+                      help="catalog model names or model JSON files")
+    lint.add_argument("--marks", help="marking (.mks) file — enables the "
+                                      "partition-protocol checks")
+    lint.add_argument("--component", help="component name (defaults to "
+                                          "the model's first component)")
+    lint.add_argument("--json", action="store_true",
+                      help="print the reports as a JSON array")
+    lint.add_argument("--fail-on", choices=("error", "warning"),
+                      default="error",
+                      help="severity that makes the exit code non-zero "
+                           "(default: error)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="suppress findings recorded in this baseline "
+                           "file")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="record every current finding as accepted and "
+                           "exit 0")
+    lint.add_argument("--no-witness", action="store_true",
+                      help="static analysis only; skip the bounded "
+                           "interleaving explorer")
+    lint.add_argument("--seed", type=int, default=0,
+                      help="explorer seed (witness search reproduces "
+                           "exactly; default 0)")
+    lint.add_argument("--schedules", type=int, default=24,
+                      help="explored schedules per scenario (default 24)")
+    lint.add_argument("--max-steps", type=int, default=1000,
+                      help="dispatch budget per explored run (default 1000)")
+    lint.set_defaults(func=cmd_lint)
 
     compile_cmd = commands.add_parser(
         "compile", help="translate a model against a marking file")

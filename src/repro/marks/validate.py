@@ -8,23 +8,10 @@ is what keeps sticky notes honest: every finding is a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from repro.analysis.findings import MarkViolation
 from repro.xuml.model import Model
 
 from .model import CRC_KINDS, MarkError, MarkSet
-
-
-@dataclass(frozen=True)
-class MarkViolation:
-    """One problem found in a marking set."""
-
-    element_path: str
-    mark_name: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.element_path} {self.mark_name}: {self.message}"
 
 
 #: Marks that make sense as component-wide defaults (software

@@ -11,19 +11,10 @@ execute the manifest, not the text).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
 
+from repro.analysis.findings import LintFinding
 
-@dataclass(frozen=True)
-class LintFinding:
-    """One problem in a generated artifact."""
-
-    path: str
-    line: int
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.message}"
+__all__ = ["LintFinding", "lint_c"]
 
 
 _IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")

@@ -14,28 +14,12 @@ the whole point (paper section 2).
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
+from repro.analysis.findings import Severity, Violation
 
 from .errors import WellFormednessError
 from .model import Model
 
-
-class Severity(enum.Enum):
-    ERROR = "error"
-    WARNING = "warning"
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One well-formedness finding."""
-
-    severity: Severity
-    element: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"[{self.severity.value}] {self.element}: {self.message}"
+__all__ = ["Severity", "Violation", "check_model"]
 
 
 def check_model(

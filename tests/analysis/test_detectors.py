@@ -1,0 +1,187 @@
+"""Unit tests for the whole-model detectors."""
+
+import pytest
+
+from repro.analysis.detectors import analyze_model, partition_lint
+from repro.analysis.findings import Severity
+from repro.analysis.witness import replay_witness
+from repro.marks import MarkSet
+from repro.models import (
+    build_elevator_model,
+    build_microwave_model,
+    build_packetproc_model,
+)
+from repro.xuml import ModelBuilder
+
+
+@pytest.fixture(scope="module")
+def microwave_findings():
+    return analyze_model(build_microwave_model(), schedules=8)
+
+
+class TestDropDetection:
+    def test_no_errors_without_witness_or_proof(self, microwave_findings):
+        for finding in microwave_findings:
+            if finding.severity is Severity.ERROR:
+                assert finding.witness is not None
+
+    def test_static_ignore_sites_reported(self, microwave_findings):
+        lost = [f for f in microwave_findings if f.rule == "lost-signal"]
+        assert lost
+        # un-witnessed ignore rows stay informational
+        assert all(f.severity in (Severity.INFO, Severity.WARNING)
+                   for f in lost)
+
+    def test_witnessed_drop_upgraded_and_replayable(self, microwave_findings):
+        witnessed = [f for f in microwave_findings
+                     if f.rule == "lost-signal" and f.witness is not None]
+        assert witnessed
+        model = build_microwave_model()
+        for finding in witnessed:
+            assert finding.severity is Severity.WARNING
+            assert replay_witness(model, finding.witness,
+                                  component="control")
+
+    def test_explorer_catches_what_the_tables_missed(self,
+                                                     microwave_findings):
+        # two same-label self events can queue across run-to-completion
+        # rounds; the arrival-state tables call MO6 pinned, the explorer
+        # observes it dropped in Complete and must report it anyway
+        missed = [f for f in microwave_findings
+                  if "missed by arrival-state analysis" in f.message]
+        assert any("MO6" in f.message for f in missed)
+        assert all(f.witness is not None for f in missed)
+
+    def test_suspects_without_witness_stay_downgraded(self):
+        findings = analyze_model(build_packetproc_model(), schedules=8)
+        cant = [f for f in findings if f.rule == "cant-happen"]
+        assert cant  # the D1/CL1/CE1 handshake rows are suspects
+        for finding in cant:
+            assert finding.severity is Severity.WARNING
+            assert finding.witness is None
+            assert "not reproduced" in finding.message
+
+
+class TestRaceDetection:
+    def test_elevator_dispatch_race_found(self):
+        model = build_elevator_model()
+        findings = analyze_model(model, schedules=8)
+        races = [f for f in findings if f.rule == "race"]
+        assert any("E1" in f.message for f in races)
+        for finding in races:
+            assert finding.severity is Severity.WARNING
+            assert replay_witness(model, finding.witness)
+
+    def test_cascading_self_events_not_reported_as_races(self):
+        findings = analyze_model(build_elevator_model(), schedules=8)
+        races = [f for f in findings if f.rule == "race"]
+        # E2/E3/E4 diverge only as a downstream echo of the E1 race —
+        # one root cause, one finding
+        assert not [f for f in races
+                    if any(label in f.message for label in ("E2", "E3", "E4"))]
+
+    def test_no_explorer_no_race_findings(self):
+        findings = analyze_model(build_elevator_model(), explore=False)
+        assert not [f for f in findings if f.rule == "race"]
+
+
+class TestSendAwareReachability:
+    def test_generated_events_keep_states_live(self, microwave_findings):
+        assert not [f for f in microwave_findings
+                    if f.rule == "send-aware-reachability"]
+
+    def test_never_sent_event_strands_a_state(self):
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        klass = component.klass("Widget", "W")
+        klass.event("W1")
+        klass.event("W2")
+        klass.state("Start", 1, activity="generate W1:W() to self;")
+        klass.state("Mid", 2)
+        klass.state("End", 3)
+        klass.trans("Start", "W1", "Mid")
+        klass.trans("Mid", "W2", "End")
+        model = builder.build(check=False)
+        findings = analyze_model(model, explore=False, scenarios=())
+        stranded = [f for f in findings
+                    if f.rule == "send-aware-reachability"]
+        assert len(stranded) == 1
+        assert "'End'" in stranded[0].message
+        assert "W2" in stranded[0].message
+
+
+class TestStallCycles:
+    @staticmethod
+    def _mutual_wait_model():
+        builder = ModelBuilder("M")
+        component = builder.component("c")
+        for mine, other in (("A", "B"), ("B", "A")):
+            klass = component.klass(f"Class{mine}", mine)
+            klass.event(f"{mine}1")
+            klass.event(f"{mine}2")
+            klass.state("Start", 1)
+            klass.state("Wait", 2)
+            klass.state("Done", 3, activity=f"""
+                select any peer from instances of {other};
+                if (not_empty peer)
+                    generate {other}2:{other}() to peer;
+                end if;
+            """)
+            klass.trans("Start", f"{mine}1", "Wait")
+            klass.trans("Wait", f"{mine}2", "Done")
+        return builder.build(check=False)
+
+    def test_mutual_wait_reported_once(self):
+        findings = analyze_model(self._mutual_wait_model(), explore=False,
+                                 scenarios=())
+        stalls = [f for f in findings if f.rule == "stall-cycle"]
+        assert len(stalls) == 1
+        assert "A.Wait" in stalls[0].message
+        assert "B.Wait" in stalls[0].message
+
+    def test_microwave_has_no_stall_cycle(self, microwave_findings):
+        assert not [f for f in microwave_findings
+                    if f.rule == "stall-cycle"]
+
+
+class TestPartitionLint:
+    @pytest.fixture(scope="class")
+    def packetproc(self):
+        return build_packetproc_model()
+
+    def test_pure_software_partition_is_silent(self, packetproc):
+        findings = partition_lint(
+            packetproc, packetproc.components[0], MarkSet())
+        assert findings == []
+
+    def test_unprotected_critical_class_is_an_error(self, packetproc):
+        component = packetproc.components[0]
+        marks = MarkSet()
+        marks.set(f"{component.name}.CE", "isHardware", True)
+        marks.set(f"{component.name}.CE", "isCritical", True)
+        findings = partition_lint(packetproc, component, marks)
+        critical = [f for f in findings if f.rule == "partition.critical"]
+        assert critical
+        assert all(f.severity is Severity.ERROR for f in critical)
+        assert any("no crc mark" in f.message for f in critical)
+
+    def test_protected_critical_class_passes(self, packetproc):
+        component = packetproc.components[0]
+        marks = MarkSet()
+        marks.set(f"{component.name}.CE", "isHardware", True)
+        marks.set(f"{component.name}.CE", "isCritical", True)
+        marks.set(f"{component.name}.CE", "crc", "crc32")
+        marks.set(f"{component.name}.CE", "maxRetries", 3)
+        findings = partition_lint(packetproc, component, marks)
+        assert not [f for f in findings if f.rule == "partition.critical"]
+
+    def test_loop_amplified_boundary_send_is_chatty(self):
+        model = build_elevator_model()
+        component = model.components[0]
+        marks = MarkSet()
+        marks.set(f"{component.name}.E", "isHardware", True)
+        findings = partition_lint(model, component, marks)
+        chatty = [f for f in findings if f.rule == "partition.chatty"]
+        # Bank.Dispatching generates E1 inside its for-each over calls
+        assert any("inside a loop" in f.message and "E1" in f.message
+                   for f in chatty)

@@ -1,0 +1,179 @@
+"""Unit tests for lint reports, baselines, and the lint/check CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.report import (
+    LintReport,
+    lint_model,
+    load_baseline,
+    write_baseline,
+)
+from repro.cli import main
+from repro.models import build_microwave_model
+from repro.xuml import ModelBuilder, model_to_json
+
+
+@pytest.fixture(scope="module")
+def microwave_report():
+    return lint_model(build_microwave_model(), schedules=8)
+
+
+class TestLintReport:
+    def test_counts_and_worst(self):
+        report = LintReport("M", "c", findings=[
+            Finding(Severity.WARNING, "a", "m"),
+            Finding(Severity.INFO, "b", "m"),
+        ])
+        assert report.counts() == {"error": 0, "warning": 1, "info": 1}
+        assert report.worst() is Severity.WARNING
+
+    def test_exit_code_thresholds(self):
+        report = LintReport("M", "c", findings=[
+            Finding(Severity.WARNING, "a", "m")])
+        assert report.exit_code("error") == 0
+        assert report.exit_code("warning") == 1
+        assert LintReport("M", "c").exit_code("warning") == 0
+
+    def test_microwave_report_shape(self, microwave_report):
+        assert microwave_report.model_name == "Microwave"
+        assert microwave_report.component_name == "control"
+        assert microwave_report.counts()["error"] == 0
+        assert microwave_report.witnessed
+        assert microwave_report.runs_executed > 0
+
+    def test_findings_sorted_worst_first(self, microwave_report):
+        ranks = [f.severity.rank for f in microwave_report.findings]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_render_mentions_witnesses(self, microwave_report):
+        text = microwave_report.render()
+        assert "witness: drop in scenario" in text
+        assert f"{microwave_report.runs_executed} exploration runs" in text
+
+    def test_report_json_serializes(self, microwave_report):
+        payload = json.loads(json.dumps(microwave_report.to_json()))
+        assert payload["model"] == "Microwave"
+        assert len(payload["findings"]) == len(microwave_report.findings)
+        witnessed = [f for f in payload["findings"] if "witness" in f]
+        assert witnessed
+        assert all(w["witness"]["schedule"] for w in witnessed)
+
+    def test_wellformed_layer_included(self):
+        builder = ModelBuilder("Synthetic")
+        component = builder.component("c")
+        klass = component.klass("Widget", "W")
+        klass.event("W1")
+        klass.state("A", 1).state("Island", 2)
+        klass.trans("A", "W1", "A")
+        report = lint_model(builder.build(check=False), explore=False)
+        wellformed = [f for f in report.findings if f.rule == "wellformed"]
+        assert any("unreachable" in f.message for f in wellformed)
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_everything(self, tmp_path,
+                                              microwave_report):
+        path = tmp_path / "baseline.json"
+        count = write_baseline(str(path), [microwave_report])
+        assert count == len(microwave_report.findings)
+        keys = load_baseline(str(path))
+        report = lint_model(build_microwave_model(), schedules=8,
+                            baseline=keys)
+        assert report.findings == []
+        assert len(report.suppressed) == count
+        assert report.exit_code("warning") == 0
+
+    def test_baseline_keys_are_sorted_for_clean_diffs(self, tmp_path,
+                                                      microwave_report):
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), [microwave_report])
+        payload = json.loads(path.read_text())
+        assert payload["suppress"] == sorted(payload["suppress"])
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "suppress": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(str(path))
+
+    def test_malformed_suppress_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 1, "suppress": [3]}')
+        with pytest.raises(ValueError, match="string list"):
+            load_baseline(str(path))
+
+
+class TestLintCli:
+    def test_json_output_parses(self, capsys):
+        code = main(["lint", "microwave", "--json", "--schedules", "6"])
+        assert code == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["model"] for r in reports] == ["Microwave"]
+        assert reports[0]["counts"]["error"] == 0
+
+    def test_fail_on_warning(self, capsys):
+        assert main(["lint", "microwave", "--schedules", "6",
+                     "--fail-on", "warning"]) == 1
+
+    def test_baseline_round_trip_through_cli(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "microwave", "--schedules", "6",
+                     "--write-baseline", str(baseline)]) == 0
+        assert main(["lint", "microwave", "--schedules", "6",
+                     "--baseline", str(baseline),
+                     "--fail-on", "warning"]) == 0
+
+    def test_no_witness_skips_exploration(self, capsys):
+        code = main(["lint", "microwave", "--json", "--no-witness"])
+        assert code == 0
+        (report,) = json.loads(capsys.readouterr().out)
+        assert report["runs_executed"] == 0
+        assert not any("witness" in f for f in report["findings"])
+
+    def test_unknown_model_exits_2(self, capsys):
+        assert main(["lint", "nosuch"]) == 2
+        assert "nosuch" in capsys.readouterr().err
+
+    def test_bad_baseline_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["lint", "microwave", "--baseline", str(bad)]) == 2
+
+    def test_model_file_accepted(self, capsys, tmp_path):
+        path = tmp_path / "microwave.json"
+        path.write_text(model_to_json(build_microwave_model()))
+        assert main(["lint", str(path), "--schedules", "6"]) == 0
+        assert "lint Microwave.control" in capsys.readouterr().out
+
+
+class TestCheckCli:
+    @pytest.fixture()
+    def warning_model_file(self, tmp_path):
+        builder = ModelBuilder("Synthetic")
+        component = builder.component("c")
+        klass = component.klass("Widget", "W")
+        klass.event("W1")
+        klass.state("A", 1).state("Island", 2)
+        klass.trans("A", "W1", "A")
+        path = tmp_path / "model.json"
+        path.write_text(model_to_json(builder.build(check=False)))
+        return str(path)
+
+    def test_warnings_pass_by_default(self, capsys, warning_model_file):
+        assert main(["check", warning_model_file]) == 0
+        out = capsys.readouterr().out
+        assert "unreachable" in out
+
+    def test_strict_warnings_fails(self, capsys, warning_model_file):
+        assert main(["check", warning_model_file,
+                     "--strict-warnings"]) == 1
+
+    def test_output_is_deterministically_sorted(self, capsys,
+                                                warning_model_file):
+        main(["check", warning_model_file])
+        first = capsys.readouterr().out
+        main(["check", warning_model_file])
+        assert capsys.readouterr().out == first

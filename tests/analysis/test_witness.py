@@ -1,0 +1,159 @@
+"""Unit tests for scenario distillation and the interleaving explorer."""
+
+import pytest
+
+from repro.analysis.witness import (
+    ReplayScheduler,
+    WitnessSearch,
+    replay_witness,
+    run_scenario,
+    scenarios_for_model,
+    scenarios_from_cases,
+    stimuli_from_scenarios,
+)
+from repro.models import build_elevator_model, build_microwave_model
+from repro.runtime.scheduler import InterleavedScheduler, SynchronousScheduler
+from repro.verify import suite_for
+from repro.verify.testcase import ExpectState, InjectStep, RunStep
+
+
+@pytest.fixture(scope="module")
+def microwave():
+    return build_microwave_model()
+
+
+@pytest.fixture(scope="module")
+def microwave_scenarios():
+    return scenarios_for_model("Microwave")
+
+
+@pytest.fixture(scope="module")
+def microwave_search(microwave, microwave_scenarios):
+    return WitnessSearch(microwave, microwave_scenarios,
+                         component="control", schedules=8)
+
+
+class TestScenarioDistillation:
+    def test_every_scenario_has_a_stimulus(self, microwave_scenarios):
+        assert microwave_scenarios
+        for scenario in microwave_scenarios:
+            assert any(isinstance(s, InjectStep) for s in scenario.steps)
+
+    def test_expectations_are_stripped(self, microwave_scenarios):
+        for scenario in microwave_scenarios:
+            assert not any(isinstance(s, (ExpectState, RunStep))
+                           for s in scenario.steps)
+
+    def test_concurrent_variant_strips_delays(self):
+        # the elevator suite spaces calls out with inject delays, so it
+        # must also yield +concurrent variants with the delays removed
+        scenarios = scenarios_for_model("Elevator")
+        concurrent = [s for s in scenarios if s.name.endswith("+concurrent")]
+        assert concurrent
+        for scenario in concurrent:
+            assert all(s.delay_us == 0 for s in scenario.steps
+                       if isinstance(s, InjectStep))
+
+    def test_model_name_drift_tolerated(self):
+        # the catalog key is "packetproc"; the model names itself
+        # "PacketProcessor" — both must resolve to the same suite
+        assert scenarios_for_model("PacketProcessor")
+        assert scenarios_for_model("packetproc")
+
+    def test_unknown_model_yields_no_scenarios(self):
+        assert scenarios_for_model("NoSuchModel") == ()
+
+    def test_distillation_dedupes(self):
+        cases = suite_for("microwave")
+        once = scenarios_from_cases(cases)
+        twice = scenarios_from_cases(list(cases) + list(cases))
+        assert [s.name for s in once] == [s.name for s in twice]
+
+    def test_stimuli_map(self, microwave_scenarios):
+        stimuli = stimuli_from_scenarios(microwave_scenarios)
+        assert "MO1" in stimuli["MO"]
+
+
+class TestRunAndReplay:
+    def test_synchronous_run_reaches_quiescence(self, microwave,
+                                                microwave_scenarios):
+        record = run_scenario(microwave, microwave_scenarios[0],
+                              SynchronousScheduler(), component="control")
+        assert not record.truncated
+        assert record.steps == len(record.schedule)
+        assert any(key == "MO" for key, _, _ in record.fingerprint)
+
+    def test_replay_reproduces_fingerprint(self, microwave,
+                                           microwave_scenarios):
+        scenario = microwave_scenarios[-1]
+        original = run_scenario(microwave, scenario,
+                                InterleavedScheduler(5), component="control")
+        replayer = ReplayScheduler(original.schedule)
+        again = run_scenario(microwave, scenario, replayer,
+                             component="control")
+        assert again.fingerprint == original.fingerprint
+        assert again.drops == original.drops
+        assert not replayer.diverged
+
+    def test_max_steps_truncates_instead_of_raising(self, microwave,
+                                                    microwave_scenarios):
+        record = run_scenario(microwave, microwave_scenarios[0],
+                              SynchronousScheduler(), component="control",
+                              max_steps=2)
+        assert record.truncated
+        assert record.steps == 2
+
+
+class TestWitnessSearch:
+    def test_finds_delayed_tick_drop(self, microwave, microwave_search):
+        witness = microwave_search.find_drop("MO", "MO4", "Paused", "ignored")
+        assert witness is not None
+        assert witness.kind == "drop"
+        assert replay_witness(microwave, witness, component="control")
+
+    def test_drop_witness_is_trimmed_to_first_occurrence(self,
+                                                         microwave_search):
+        witness = microwave_search.find_drop("MO", "MO4", "Paused", "ignored")
+        for record in microwave_search.records_for(witness.scenario):
+            if record.seed == witness.seed:
+                first = record.drop_step("MO", "MO4", "Paused", "ignored")
+                assert len(witness.schedule) == first
+                break
+        else:  # pragma: no cover - the witness came from these records
+            pytest.fail("witness record not found")
+
+    def test_unrealizable_drop_returns_none(self, microwave_search):
+        # MO5 is pinned to its generating state; no schedule can drop it
+        assert microwave_search.find_drop(
+            "MO", "MO5", "Idle", "ignored") is None
+
+    def test_run_cache_counts_each_run_once(self, microwave,
+                                            microwave_scenarios):
+        search = WitnessSearch(microwave, microwave_scenarios[:1],
+                               component="control", schedules=3)
+        search.records_for(microwave_scenarios[0])
+        after_first = search.runs_executed
+        search.records_for(microwave_scenarios[0])
+        assert search.runs_executed == after_first == 4  # baseline + 3
+
+    def test_witness_json_is_self_describing(self, microwave_search):
+        witness = microwave_search.find_drop("MO", "MO4", "Paused", "ignored")
+        payload = witness.to_json()
+        assert payload["kind"] == "drop"
+        assert payload["observed"]["label"] == "MO4"
+        assert payload["steps"]  # human-readable scenario script
+
+
+class TestRaceWitness:
+    def test_elevator_call_dispatch_races(self):
+        model = build_elevator_model()
+        search = WitnessSearch(model, scenarios_for_model("Elevator"),
+                               schedules=8)
+        witness = search.find_race("E", "E1")
+        assert witness is not None
+        assert witness.kind == "race"
+        assert witness.baseline_schedule != witness.schedule
+        assert replay_witness(model, witness)
+
+    def test_pinned_signal_never_races(self, microwave_search):
+        assert microwave_search.find_race("MO", "MO5") is None

@@ -1,0 +1,78 @@
+"""Warning-path coverage for well-formedness across the catalog.
+
+The error paths of :mod:`repro.xuml.wellformed` are exercised by
+``test_wellformed.py`` on synthetic models; this module pins down the
+*warning* behavior on every real catalog model: the shipped models are
+warning-clean, and mutating any of them (an island state, an undeclared
+-use event) produces exactly the expected warning without upgrading it
+to an error.
+"""
+
+import pytest
+
+from repro.models import CATALOG, build_model
+from repro.xuml import EventSpec, Severity, State, check_model
+
+MODELS = sorted(entry.name for entry in CATALOG)
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_catalog_models_are_warning_clean(name):
+    assert check_model(build_model(name)) == []
+
+
+def _first_active_class(model):
+    for component in model.components:
+        for klass in component.classes:
+            if not klass.statemachine.is_empty():
+                return klass
+    raise AssertionError("catalog model with no active class")
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_island_state_warns_in_every_model(name):
+    model = build_model(name)
+    klass = _first_active_class(model)
+    klass.statemachine.add_state(State("SyntheticIsland", 99))
+    found = check_model(model)
+    island = [v for v in found if "SyntheticIsland" in v.message]
+    assert len(island) == 1
+    assert island[0].severity is Severity.WARNING
+    assert "unreachable" in island[0].message
+    # a warning never makes the model ill-formed
+    assert not [v for v in found if v.severity is Severity.ERROR]
+    check_model(model, strict=True)  # strict raises only on errors
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_unhandled_event_warns_in_every_model(name):
+    model = build_model(name)
+    klass = _first_active_class(model)
+    klass.add_event(EventSpec("ZZ99", "synthetic never-handled event"))
+    found = check_model(model)
+    unhandled = [v for v in found if "ZZ99" in v.message]
+    assert len(unhandled) == 1
+    assert unhandled[0].severity is Severity.WARNING
+    assert "never handled" in unhandled[0].message
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_warnings_carry_the_class_path(name):
+    model = build_model(name)
+    klass = _first_active_class(model)
+    klass.statemachine.add_state(State("SyntheticIsland", 99))
+    (violation,) = [v for v in check_model(model)
+                    if "SyntheticIsland" in v.message]
+    assert violation.element.endswith(f".{klass.key_letters}")
+
+
+def test_both_warning_kinds_sort_stably_together():
+    model = build_model(MODELS[0])
+    klass = _first_active_class(model)
+    klass.statemachine.add_state(State("SyntheticIsland", 99))
+    klass.add_event(EventSpec("ZZ99", "synthetic"))
+    found = check_model(model)
+    assert len(found) == 2
+    ordered = sorted(found, key=lambda v: (v.element, v.message))
+    assert ordered == sorted(reversed(found),
+                             key=lambda v: (v.element, v.message))
