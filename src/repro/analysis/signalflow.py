@@ -5,9 +5,11 @@ which class" — enough to place a bus, not enough to reason about
 concurrency.  The detectors need to know *which state's activity* sends
 each signal, whether the send targets ``self``, whether it is delayed,
 whether it sits inside a loop, and which events the environment injects.
-:func:`build_graph` derives all of that from the analyzed OAL bodies —
-the same analysis the compiler trusts, so the graph cannot drift from
-what actually executes.
+:func:`build_graph` derives all of that from the *lowered action IR*
+(:mod:`repro.exec`) — literally the same lowered bodies the abstract
+runtime and the architecture simulators execute, served from the same
+fingerprint-keyed lowering cache, so the graph cannot drift from what
+actually executes.
 
 The central semantic fact encoded here is :meth:`SignalFlowGraph.\
 arrival_states`: under run-to-completion with self-directed events
@@ -24,9 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.oal import ast
-from repro.oal.analyzer import analyze_activity
-from repro.oal.parser import parse_activity
+from repro.exec import lower_component, walk_ir_generates
 from repro.xuml.component import Component
 from repro.xuml.model import Model
 from repro.xuml.statemachine import EventResponse
@@ -160,35 +160,28 @@ class SignalFlowGraph:
         return tuple(sites)
 
 
-def _walk_sends(block: ast.Block, in_loop: bool = False,
-                conditional: bool = False):
-    """Yield (Generate, in_loop, conditional) for every send in *block*."""
-    for stmt in block.statements:
-        if isinstance(stmt, ast.Generate):
-            yield stmt, in_loop, conditional
-        elif isinstance(stmt, ast.If):
-            for _, branch in stmt.branches:
-                yield from _walk_sends(branch, in_loop, True)
-            if stmt.orelse is not None:
-                yield from _walk_sends(stmt.orelse, in_loop, True)
-        elif isinstance(stmt, (ast.While, ast.ForEach)):
-            yield from _walk_sends(stmt.body, True, True)
+def _edges_from_ir(sender_class: str, source: str, block: list) -> list[SignalEdge]:
+    """SignalEdges for every ``generate`` in one lowered body.
 
-
-def _edges_from_body(source: str, klass, block, analysis) -> list[SignalEdge]:
+    IR generate layout: ``["generate", label, class_key, args,
+    target|None, delay|None, line]`` — a ``None`` target is a creation
+    event, a ``["self"]`` target is a self-send, and the trailing
+    element is the source line the lowering preserved for exactly this
+    walk.
+    """
     edges = []
-    for stmt, in_loop, conditional in _walk_sends(block):
+    for stmt, in_loop, conditional in walk_ir_generates(block):
         edges.append(SignalEdge(
-            sender_class=klass.key_letters,
+            sender_class=sender_class,
             sender_state=source,
-            event_label=stmt.event_label,
-            receiver_class=analysis.generate_classes[id(stmt)],
-            to_self=isinstance(stmt.target, ast.SelfRef),
-            is_creation=stmt.target is None,
-            delayed=stmt.delay is not None,
+            event_label=stmt[1],
+            receiver_class=stmt[2],
+            to_self=stmt[4] == ["self"],
+            is_creation=stmt[4] is None,
+            delayed=stmt[5] is not None,
             in_loop=in_loop,
             conditional=conditional,
-            line=stmt.line,
+            line=stmt[6],
         ))
     return edges
 
@@ -198,23 +191,13 @@ def build_graph(
     component: Component,
     stimuli: dict[str, frozenset[str]] | None = None,
 ) -> SignalFlowGraph:
-    """Derive the component's signal-flow graph from its OAL bodies."""
+    """Derive the component's signal-flow graph from its lowered IR."""
+    lowered = lower_component(model, component)
     edges: list[SignalEdge] = []
-    for klass in component.classes:
-        for state in klass.statemachine.states:
-            if not state.activity.strip():
-                continue
-            block = parse_activity(state.activity)
-            analysis = analyze_activity(block, model, component, klass, state)
-            edges.extend(_edges_from_body(state.name, klass, block, analysis))
-        for operation in klass.operations:
-            if not operation.body.strip():
-                continue
-            block = parse_activity(operation.body)
-            analysis = analyze_activity(
-                block, model, component, klass, None, operation=operation)
-            edges.extend(_edges_from_body(
-                f"::{operation.name}", klass, block, analysis))
+    for (class_key, state_name), block in lowered.activities.items():
+        edges.extend(_edges_from_ir(class_key, state_name, block))
+    for (class_key, op_name), block in lowered.operations.items():
+        edges.extend(_edges_from_ir(class_key, f"::{op_name}", block))
     edges.sort(key=lambda e: (
         e.sender_class, e.sender_state, e.event_label, e.receiver_class, e.line))
     return SignalFlowGraph(

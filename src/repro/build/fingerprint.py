@@ -38,7 +38,7 @@ from repro.xuml.serialize import model_to_dict
 
 #: Bump whenever an emitter's output or a rule predicate's meaning
 #: changes — it invalidates every cached artifact at once.
-GENERATOR_VERSION = "e9.1"
+GENERATOR_VERSION = "e12.1"
 
 
 def canonical_json(data) -> str:

@@ -1,0 +1,25 @@
+"""Control-flow signals used by the IR evaluator.
+
+``break``/``continue``/``return`` unwind through Python exceptions.
+These classes used to be copy-pasted into both the abstract runtime's
+interpreter and the target-architecture runtime; one definition lives
+here now, so "the semantics of break" cannot fork.
+"""
+
+from __future__ import annotations
+
+
+class BreakSignal(Exception):
+    """Raised by ``break``; caught by the innermost loop."""
+
+
+class ContinueSignal(Exception):
+    """Raised by ``continue``; caught by the innermost loop."""
+
+
+class ReturnSignal(Exception):
+    """Raised by ``return``; caught by the activity/operation entry."""
+
+    def __init__(self, value):
+        self.value = value
+        super().__init__()

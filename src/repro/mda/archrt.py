@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.exec import IRExecutor
 from repro.runtime.events import EventPool, SignalInstance
-from repro.runtime.interpreter import c_div, c_mod
 from repro.runtime.tracing import Trace, TraceKind
 
 from .manifest import ClassManifest, ComponentManifest
@@ -30,38 +30,14 @@ class ArchError(Exception):
     """Target-architecture execution failure."""
 
 
-class _Break(Exception):
-    pass
-
-
-class _Continue(Exception):
-    pass
-
-
-class _Return(Exception):
-    def __init__(self, value):
-        self.value = value
-        super().__init__()
-
-
-class _Frame:
-    """One activity/operation invocation."""
-
-    __slots__ = ("locals", "self_handle", "params", "selected")
-
-    def __init__(self, self_handle, params):
-        self.locals: dict[str, object] = {}
-        self.self_handle = self_handle
-        self.params = dict(params)
-        self.selected = None
-
-
 class TargetMachine:
     """Manifest executor with pluggable dispatch (see csim/vsim).
 
     The machine mirrors the :class:`repro.runtime.Simulation` surface
     closely enough that verification test cases can drive either through
-    one adapter.
+    one adapter.  Action semantics live entirely in the shared execution
+    core (:mod:`repro.exec`); this class supplies only storage, links,
+    signal queues and dispatch discipline.
     """
 
     def __init__(self, manifest: ComponentManifest):
@@ -71,7 +47,8 @@ class TargetMachine:
         self.now = 0                       # architecture-specific unit
         self.loop_bound = 100_000
         self.cant_happen_count = 0
-        self.ops_executed = 0              # dynamic IR statement count
+        self.executor = IRExecutor(self, error=ArchError,
+                                   selection_error=ArchError)
         self.log_lines: list[tuple[int, str]] = []
         self.metrics: dict[str, list[tuple[int, float]]] = {}
         self._next_handle = 1
@@ -91,6 +68,18 @@ class TargetMachine:
                 one[1]: defaultdict(set),
                 other[1]: defaultdict(set),
             }
+
+    @property
+    def execution_core(self) -> str:
+        """Which execution core serves this machine's actions."""
+        from repro.exec import CORE_NAME
+
+        return f"{CORE_NAME} (lowered action IR)"
+
+    @property
+    def ops_executed(self) -> int:
+        """Dynamically executed IR statements (shared-core counter)."""
+        return self.executor.ops_executed
 
     # -- population ---------------------------------------------------------
 
@@ -144,8 +133,7 @@ class TargetMachine:
         class_key = self.class_of(handle)
         klass = self._klass(class_key)
         if name in klass.derived:
-            frame = _Frame(handle, {})
-            return self._run_ir(klass.derived[name], frame)
+            return self.executor.run(klass.derived[name], handle, {})
         data = self._data[class_key][handle]
         if name not in data:
             raise ArchError(f"{class_key}#{handle} has no attribute {name!r}")
@@ -366,8 +354,7 @@ class TargetMachine:
         )
         self._activity_stack.append(activity_id)
         try:
-            frame = _Frame(handle, signal.params)
-            self._run_ir(klass.activities[state], frame)
+            self.executor.run(klass.activities[state], handle, signal.params)
         finally:
             self._activity_stack.pop()
             self.trace.record(
@@ -409,222 +396,10 @@ class TargetMachine:
     def call_operation(self, class_key: str, name: str, self_handle, kwargs):
         klass = self._klass(class_key)
         operation = klass.operations[name]
-        frame = _Frame(self_handle, kwargs)
-        return self._run_ir(operation.ir, frame)
+        return self.executor.run(operation.ir, self_handle, kwargs)
 
-    # -- IR interpreter ---------------------------------------------------------------
+    def call_class_operation(self, class_key: str, name: str, kwargs: dict):
+        return self.call_operation(class_key, name, None, kwargs)
 
-    def _run_ir(self, block: list, frame: _Frame):
-        try:
-            self._exec_block(block, frame)
-        except _Return as ret:
-            return ret.value
-        return None
-
-    def _exec_block(self, block: list, frame: _Frame) -> None:
-        for stmt in block:
-            self._exec(stmt, frame)
-
-    def _exec(self, stmt: list, frame: _Frame) -> None:
-        self.ops_executed += 1
-        tag = stmt[0]
-        if tag == "assign_var":
-            frame.locals[stmt[1]] = self._eval(stmt[2], frame)
-        elif tag == "assign_attr":
-            handle = self._require(self._eval(stmt[1], frame))
-            self.write_attribute(handle, stmt[2], self._eval(stmt[3], frame))
-        elif tag == "create":
-            frame.locals[stmt[1]] = self.create_instance(stmt[2])
-        elif tag == "delete":
-            self.delete_instance(self._require(self._eval(stmt[1], frame)))
-        elif tag == "select_extent":
-            handles = self.instances_of(stmt[3])
-            handles = self._filter(handles, stmt[4], frame)
-            frame.locals[stmt[1]] = (
-                tuple(handles) if stmt[2]
-                else (handles[0] if handles else None))
-        elif tag == "select_related":
-            start = self._eval(stmt[3], frame)
-            current = () if start is None else (start,)
-            for class_key, number, phrase in stmt[4]:
-                gathered: set[int] = set()
-                for handle in current:
-                    gathered.update(
-                        self.navigate(handle, number, class_key, phrase))
-                current = tuple(sorted(gathered))
-            current = self._filter(current, stmt[5], frame)
-            if stmt[2]:
-                frame.locals[stmt[1]] = tuple(current)
-            else:
-                if len(current) > 1:
-                    raise ArchError(
-                        f"select one produced {len(current)} instances")
-                frame.locals[stmt[1]] = current[0] if current else None
-        elif tag == "relate":
-            self.relate(
-                self._require(self._eval(stmt[1], frame)),
-                self._require(self._eval(stmt[2], frame)),
-                stmt[3], stmt[4],
-            )
-        elif tag == "unrelate":
-            self.unrelate(
-                self._require(self._eval(stmt[1], frame)),
-                self._require(self._eval(stmt[2], frame)),
-                stmt[3], stmt[4],
-            )
-        elif tag == "generate":
-            params = {name: self._eval(value, frame) for name, value in stmt[3]}
-            delay = int(self._eval(stmt[5], frame)) if stmt[5] is not None else 0
-            if stmt[4] is None:
-                self.send_creation(stmt[2], stmt[1], params,
-                                   sender=frame.self_handle, delay=delay)
-            else:
-                target = self._require(self._eval(stmt[4], frame))
-                self.send_signal(target, stmt[2], stmt[1], params,
-                                 sender=frame.self_handle, delay=delay)
-        elif tag == "if":
-            for cond, body in stmt[1]:
-                if self._eval(cond, frame):
-                    self._exec_block(body, frame)
-                    return
-            if stmt[2] is not None:
-                self._exec_block(stmt[2], frame)
-        elif tag == "while":
-            guard = 0
-            while self._eval(stmt[1], frame):
-                guard += 1
-                if guard > self.loop_bound:
-                    raise ArchError(f"loop exceeded {self.loop_bound} iterations")
-                try:
-                    self._exec_block(stmt[2], frame)
-                except _Break:
-                    break
-                except _Continue:
-                    continue
-        elif tag == "foreach":
-            for handle in self._eval(stmt[2], frame):
-                frame.locals[stmt[1]] = handle
-                try:
-                    self._exec_block(stmt[3], frame)
-                except _Break:
-                    break
-                except _Continue:
-                    continue
-        elif tag == "break":
-            raise _Break
-        elif tag == "continue":
-            raise _Continue
-        elif tag == "return":
-            raise _Return(
-                self._eval(stmt[1], frame) if stmt[1] is not None else None)
-        elif tag == "exprstmt":
-            self._eval(stmt[1], frame)
-        else:
-            raise ArchError(f"unknown IR statement {tag!r}")
-
-    def _filter(self, handles, where, frame: _Frame):
-        handles = tuple(handles)
-        if where is None:
-            return handles
-        kept = []
-        outer = frame.selected
-        try:
-            for handle in handles:
-                frame.selected = handle
-                if self._eval(where, frame):
-                    kept.append(handle)
-        finally:
-            frame.selected = outer
-        return tuple(kept)
-
-    def _eval(self, ir: list, frame: _Frame):
-        tag = ir[0]
-        if tag in ("int", "real", "str", "bool"):
-            return ir[1]
-        if tag == "enum":
-            return ir[2]   # enumerator name, same value space as runtime
-        if tag == "self":
-            return frame.self_handle
-        if tag == "selected":
-            return frame.selected
-        if tag == "var":
-            try:
-                return frame.locals[ir[1]]
-            except KeyError:
-                raise ArchError(f"variable {ir[1]!r} read before assignment") from None
-        if tag == "param":
-            try:
-                return frame.params[ir[1]]
-            except KeyError:
-                raise ArchError(f"no event parameter {ir[1]!r}") from None
-        if tag == "attr":
-            handle = self._require(self._eval(ir[1], frame))
-            return self.read_attribute(handle, ir[2])
-        if tag == "un":
-            value = self._eval(ir[2], frame)
-            if ir[1] == "-":
-                return -value
-            if ir[1] == "not":
-                return not value
-            as_set = (() if value is None
-                      else value if isinstance(value, tuple) else (value,))
-            if ir[1] == "cardinality":
-                return len(as_set)
-            if ir[1] == "empty":
-                return len(as_set) == 0
-            if ir[1] == "not_empty":
-                return len(as_set) != 0
-            raise ArchError(f"unknown unary {ir[1]!r}")
-        if tag == "bin":
-            op = ir[1]
-            if op == "and":
-                return bool(self._eval(ir[2], frame)) and bool(
-                    self._eval(ir[3], frame))
-            if op == "or":
-                return bool(self._eval(ir[2], frame)) or bool(
-                    self._eval(ir[3], frame))
-            left = self._eval(ir[2], frame)
-            right = self._eval(ir[3], frame)
-            if op == "==":
-                return left == right
-            if op == "!=":
-                return left != right
-            if op == "<":
-                return left < right
-            if op == "<=":
-                return left <= right
-            if op == ">":
-                return left > right
-            if op == ">=":
-                return left >= right
-            if op == "+":
-                return left + right
-            if op == "-":
-                return left - right
-            if op == "*":
-                return left * right
-            if op == "/":
-                if isinstance(left, int) and isinstance(right, int):
-                    return c_div(left, right)
-                return left / right
-            if op == "%":
-                return c_mod(left, right)
-            raise ArchError(f"unknown binary {op!r}")
-        if tag == "bridge":
-            kwargs = {name: self._eval(value, frame) for name, value in ir[3]}
-            return self.call_bridge(frame.self_handle, ir[1], ir[2], kwargs)
-        if tag == "classop":
-            kwargs = {name: self._eval(value, frame) for name, value in ir[3]}
-            return self.call_operation(ir[1], ir[2], None, kwargs)
-        if tag == "instop":
-            target = self._require(self._eval(ir[1], frame))
-            kwargs = {name: self._eval(value, frame) for name, value in ir[3]}
-            return self.call_operation(self.class_of(target), ir[2],
-                                       target, kwargs)
-        raise ArchError(f"unknown IR expression {tag!r}")
-
-    @staticmethod
-    def _require(handle):
-        if handle is None:
-            raise ArchError("empty instance reference")
-        return handle
+    def call_instance_operation(self, handle: int, name: str, kwargs: dict):
+        return self.call_operation(self.class_of(handle), name, handle, kwargs)

@@ -21,9 +21,10 @@ from .errors import (
     SelectionError,
     SimulationError,
 )
+from repro.exec import c_div, c_mod
+
 from .events import EventPool, InstanceQueue, SignalInstance
 from .instances import Instance, Population
-from .interpreter import ActivityInterpreter, c_div, c_mod
 from .links import LinkStore
 from .scheduler import (
     CREATION,
@@ -37,7 +38,6 @@ from .simulator import Simulation
 from .tracing import Trace, TraceEvent, TraceKind
 
 __all__ = [
-    "ActivityInterpreter",
     "BridgeContext",
     "BridgeError",
     "BridgeRegistry",

@@ -20,18 +20,17 @@ prevent.
 
 from __future__ import annotations
 
-from repro.oal.analyzer import AnalyzedActivity, analyze_activity
-from repro.oal.parser import parse_activity
+from repro.exec import IRExecutor, LoweredComponent, lower_component
 from repro.obs.metrics import active_registry
+from repro.oal.errors import OALRuntimeError
 from repro.xuml.component import Component
 from repro.xuml.model import Model
 from repro.xuml.statemachine import EventResponse
 
 from .bridges import BridgeContext, BridgeRegistry
-from .errors import CantHappenError, SimulationError
+from .errors import CantHappenError, SelectionError, SimulationError
 from .events import EventPool, SignalInstance
 from .instances import Instance, Population
-from .interpreter import ActivityInterpreter
 from .links import LinkStore
 from .scheduler import CREATION, Scheduler, SynchronousScheduler
 from .tracing import Trace, TraceKind
@@ -96,10 +95,13 @@ class Simulation:
         self._populations: dict[str, Population] = {
             klass.key_letters: Population(klass) for klass in self.component.classes
         }
-        self._activities: dict[tuple[str, str], AnalyzedActivity] = {}
-        self._operations: dict[tuple[str, str], AnalyzedActivity] = {}
-        self._derived: dict[tuple[str, str], AnalyzedActivity] = {}
-        self._prepare_activities()
+        # One lowering per model content (fingerprint-cached), one shared
+        # evaluator: the abstract runtime executes literally the same IR
+        # through literally the same code as csim and vsim.
+        self._lowered: LoweredComponent = lower_component(model, self.component)
+        self._exec = IRExecutor(
+            self, error=OALRuntimeError, selection_error=SelectionError
+        )
 
         # observability: bind metrics once at construction; when no
         # registry is active every hook is one `is not None` test
@@ -117,38 +119,19 @@ class Simulation:
                 "runtime.dispatch_wait_us",
                 buckets=(0, 1, 10, 100, 1_000, 10_000, 100_000, 1_000_000))
 
-    # -- preparation -------------------------------------------------------------
+    # -- execution core ----------------------------------------------------------
 
-    def _prepare_activities(self) -> None:
-        from repro.xuml.klass import Operation
+    @property
+    def execution_core(self) -> str:
+        """Which execution core serves this simulation's actions."""
+        from repro.exec import CORE_NAME
 
-        for klass in self.component.classes:
-            for state in klass.statemachine.states:
-                block = parse_activity(state.activity)
-                analysis = analyze_activity(
-                    block, self.model, self.component, klass, state
-                )
-                self._activities[(klass.key_letters, state.name)] = analysis
-            for operation in klass.operations:
-                block = parse_activity(operation.body)
-                analysis = analyze_activity(
-                    block, self.model, self.component, klass, None, operation=operation
-                )
-                self._operations[(klass.key_letters, operation.name)] = analysis
-            for attribute in klass.attributes:
-                if attribute.derived is None:
-                    continue
-                pseudo = Operation(
-                    f"derived_{attribute.name}",
-                    f"return {attribute.derived};",
-                    instance_based=True,
-                    returns=attribute.dtype,
-                )
-                block = parse_activity(pseudo.body)
-                analysis = analyze_activity(
-                    block, self.model, self.component, klass, None, operation=pseudo
-                )
-                self._derived[(klass.key_letters, attribute.name)] = analysis
+        return f"{CORE_NAME} (lowered action IR)"
+
+    @property
+    def ops_executed(self) -> int:
+        """Dynamically executed IR statements (shared-core counter)."""
+        return self._exec.ops_executed
 
     # -- population --------------------------------------------------------------
 
@@ -203,8 +186,8 @@ class Simulation:
         klass = self.component.klass(instance.class_key)
         attribute = klass.attribute(name)
         if attribute.derived is not None:
-            analysis = self._derived[(instance.class_key, name)]
-            return ActivityInterpreter(self, analysis, handle, {}).run()
+            ir = self._lowered.derived[(instance.class_key, name)]
+            return self._exec.run(ir, handle, {})
         return instance.get(name)
 
     def write_attribute(self, handle: int, name: str, value) -> None:
@@ -378,12 +361,12 @@ class Simulation:
 
     def call_instance_operation(self, handle: int, name: str, kwargs: dict):
         class_key = self.class_of(handle)
-        analysis = self._operations[(class_key, name)]
-        return ActivityInterpreter(self, analysis, handle, kwargs).run()
+        ir = self._lowered.operations[(class_key, name)]
+        return self._exec.run(ir, handle, kwargs)
 
     def call_class_operation(self, class_key: str, name: str, kwargs: dict):
-        analysis = self._operations[(class_key, name)]
-        return ActivityInterpreter(self, analysis, None, kwargs).run()
+        ir = self._lowered.operations[(class_key, name)]
+        return self._exec.run(ir, None, kwargs)
 
     # -- dispatch -----------------------------------------------------------------------
 
@@ -486,7 +469,7 @@ class Simulation:
     def _run_state_activity(
         self, instance: Instance, state_name: str, signal: SignalInstance
     ) -> None:
-        analysis = self._activities[(instance.class_key, state_name)]
+        key = (instance.class_key, state_name)
         activity_id = self._next_activity
         self._next_activity += 1
         self.trace.record(
@@ -499,9 +482,9 @@ class Simulation:
         try:
             params = {
                 name: signal.params.get(name)
-                for name in analysis.event_parameters
+                for name in self._lowered.event_parameters[key]
             }
-            ActivityInterpreter(self, analysis, instance.handle, params).run()
+            self._exec.run(self._lowered.activities[key], instance.handle, params)
         finally:
             self._activity_stack.pop()
             self.trace.record(

@@ -284,7 +284,27 @@ class TestTutorialSteps:
         assert main(["lint", "packetproc", "--baseline", baseline,
                      "--fail-on", "warning"]) == 0
 
-    def test_step_10_serialize(self):
+    def test_step_10_one_execution_core(self):
+        from repro.exec import clear_lowering_cache, lowering_cache_stats
+        from repro.marks import marks_for_partition
+        from repro.mda.csim import CSoftwareMachine
+
+        clear_lowering_cache()
+        model = build_sensor_node()
+        sim = Simulation(model)
+        assert sim.execution_core == "repro.exec (lowered action IR)"
+        assert lowering_cache_stats()["misses"] == 1
+
+        Simulation(build_sensor_node())        # same content -> cache hit
+        assert lowering_cache_stats()["hits"] == 1
+
+        component = model.components[0]
+        build = ModelCompiler(model).compile(
+            marks_for_partition(component, ()))
+        machine = CSoftwareMachine(build.manifest)
+        assert machine.execution_core == sim.execution_core
+
+    def test_step_11_serialize(self):
         model = build_sensor_node()
         text = model_to_json(model)
         assert model_to_json(model_from_json(text)) == text
